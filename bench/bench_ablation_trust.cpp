@@ -1,0 +1,86 @@
+// E10 — ablation of neighbour suspicion propagation (§3.3: "a node that
+// suspects one of its neighbors should notify its other neighbors about
+// this suspicion in order to preserve connectivity of correct nodes in
+// the overlay").
+//
+// We measure how widely knowledge of the mute nodes spreads (fraction of
+// (correct, mute) pairs where the correct node's TRUST level for the mute
+// node is not `trusted`) and the late-traffic latency, with reports on
+// and off.
+//
+// Expected shape: with propagation on, second-hand "unknown" marks spread
+// past the direct victims, the overlay stops leaning on the mute nodes
+// sooner, and late-message latency drops; with propagation off only
+// first-hand victims ever distrust them.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace byzcast;
+  util::CliArgs args(argc, argv);
+  auto n = static_cast<std::size_t>(args.get_int("n", 30));
+  auto bcasts = static_cast<std::size_t>(args.get_int("bcasts", 30));
+  int seeds = static_cast<int>(args.get_int("seeds", 3));
+
+  util::Table table({"trust_propagation", "aware_pair_fraction",
+                     "late_latency_mean_ms", "delivery"});
+
+  for (bool propagation : {true, false}) {
+    double aware_sum = 0, late_sum = 0, delivery_sum = 0;
+    int runs = 0;
+    std::uint64_t seed = 950;
+    while (runs < seeds && seed < 1050) {
+      sim::ScenarioConfig config;
+      config.seed = seed++;
+      config.n = n;
+      config.tx_range = 120;
+      double side = bench::density_side(n, config.tx_range, 6.0);
+      config.area = {side, side};
+      config.adversaries = {{byz::AdversaryKind::kMute, n / 5}};
+      config.protocol_config.trust_propagation = propagation;
+      config.protocol_config.mute.suspicion_interval = des::seconds(60);
+      config.protocol_config.trust.suspicion_interval = des::seconds(60);
+      config.protocol_config.trust.report_interval = des::seconds(60);
+      config.num_broadcasts = bcasts;
+      config.cooldown = des::seconds(12);
+      sim::Network network(config);
+      if (!network.correct_graph_connected()) continue;
+      sim::RunResult result = sim::run_workload(network);
+
+      std::size_t aware = 0, pairs = 0;
+      for (NodeId c : network.correct_nodes()) {
+        for (NodeId b : network.byzantine_nodes()) {
+          ++pairs;
+          if (network.byzcast_node(c)->trust().level(b) !=
+              fd::TrustLevel::kTrusted) {
+            ++aware;
+          }
+        }
+      }
+      aware_sum += pairs == 0 ? 0
+                              : static_cast<double>(aware) /
+                                    static_cast<double>(pairs);
+      // Mean latency over the last third of the broadcasts (post-healing).
+      double late = 0;
+      std::size_t late_count = 0;
+      NodeId sender = network.senders()[0];
+      for (std::uint32_t i = static_cast<std::uint32_t>(2 * bcasts / 3);
+           i < bcasts; ++i) {
+        auto rec = result.metrics.records().find({sender, i});
+        if (rec == result.metrics.records().end()) continue;
+        for (const auto& [node, at] : rec->second.accepted) {
+          late += 1e3 * des::to_seconds(at - rec->second.sent_at);
+          ++late_count;
+        }
+      }
+      late_sum += late_count == 0 ? 0 : late / static_cast<double>(late_count);
+      delivery_sum += result.metrics.delivery_ratio();
+      ++runs;
+    }
+    if (runs > 0) {
+      table.add_row({std::string(propagation ? "on (paper)" : "off"),
+                     aware_sum / runs, late_sum / runs, delivery_sum / runs});
+    }
+  }
+  bench::emit(table, args);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// E9 — ablation of the recovery design choices (DESIGN.md §6): the
+// FIND_MISSING_MSG two-hop TTL ("the message is sent to overlay nodes at
+// distance 2 in order to bypass a potential neighboring Byzantine node")
+// and the recovery path as a whole, under a mute-heavy sparse network.
+//
+// Expected shape: recovery off loses messages outright; TTL=1 recovery
+// recovers what a one-hop neighbourhood holds but stalls when the only
+// holder sits behind the Byzantine node; the paper's TTL=2 recovers
+// everything.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace byzcast;
+  util::CliArgs args(argc, argv);
+  int seeds = static_cast<int>(args.get_int("seeds", 4));
+  auto n = static_cast<std::size_t>(args.get_int("n", 40));
+
+  util::Table table({"variant", "delivery", "latency_mean_ms",
+                     "overhead_pkts_per_bcast"});
+
+  struct Variant {
+    const char* name;
+    bool recovery;
+    std::uint8_t ttl;
+  };
+  for (const Variant& v :
+       {Variant{"recovery-ttl2 (paper)", true, 2},
+        Variant{"recovery-ttl1", true, 1},
+        Variant{"no-recovery", false, 2}}) {
+    bench::Averaged avg = bench::run_averaged(
+        [&](std::uint64_t seed) {
+          sim::ScenarioConfig config = bench::default_scenario(n, seed);
+          double side = bench::density_side(n, config.tx_range, 6.0);
+          config.area = {side, side};
+          config.adversaries = {{byz::AdversaryKind::kMute, n / 4}};
+          config.protocol_config.recovery_enabled = v.recovery;
+          config.protocol_config.find_ttl = v.ttl;
+          return config;
+        },
+        seeds, 900);
+    table.add_row({std::string(v.name), avg.delivery, avg.latency_mean_ms,
+                   avg.total_packets_per_bcast - avg.data_packets_per_bcast});
+  }
+  bench::emit(table, args);
+  return 0;
+}

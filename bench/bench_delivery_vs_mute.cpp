@@ -1,0 +1,55 @@
+// E2 — delivery ratio vs mute-node fraction (the paper's "nodes
+// experience mute failures ... these failures seem to have the most
+// adverse impact" evaluation).
+//
+// Expected shape: the Byzantine protocol holds ~1.0 delivery as mute
+// fraction grows (gossip recovery + overlay healing); the same protocol
+// with recovery disabled degrades (the overlay alone cannot route around
+// silent members before detection); flooding degrades more gently thanks
+// to per-node redundancy but without a floor of 1.0.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace byzcast;
+  util::CliArgs args(argc, argv);
+  int seeds = static_cast<int>(args.get_int("seeds", 3));
+  auto n = static_cast<std::size_t>(args.get_int("n", 60));
+
+  util::Table table({"mute_fraction", "protocol", "delivery",
+                     "latency_mean_ms", "latency_p99_ms"});
+
+  struct Variant {
+    const char* name;
+    std::function<void(sim::ScenarioConfig&)> apply;
+  };
+  std::vector<Variant> variants = {
+      {"byzcast", [](sim::ScenarioConfig&) {}},
+      {"byzcast-no-recovery",
+       [](sim::ScenarioConfig& c) {
+         c.protocol_config.recovery_enabled = false;
+       }},
+      {"flooding",
+       [](sim::ScenarioConfig& c) { c.protocol = sim::ProtocolKind::kFlooding; }},
+  };
+
+  for (double fraction : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+    auto mute_count = static_cast<std::size_t>(
+        fraction * static_cast<double>(n) + 0.5);
+    for (const Variant& variant : variants) {
+      bench::Averaged avg = bench::run_averaged(
+          [&](std::uint64_t seed) {
+            sim::ScenarioConfig config = bench::default_scenario(n, seed);
+            if (mute_count > 0) {
+              config.adversaries = {{byz::AdversaryKind::kMute, mute_count}};
+            }
+            variant.apply(config);
+            return config;
+          },
+          seeds, 200 + static_cast<std::uint64_t>(fraction * 100));
+      table.add_row({fraction, std::string(variant.name), avg.delivery,
+                     avg.latency_mean_ms, avg.latency_p99_ms});
+    }
+  }
+  bench::emit(table, args);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// E15 — MUTE failure-detector tuning: the completeness/accuracy
+// trade-off the paper's §2.2 discussion leaves to the implementation.
+// Two measurements per (expect_timeout, miss_threshold) point:
+//
+//  * detection latency, on the deterministic diamond topology (S-X-Y plus
+//    a high-id mute M covering all three — the topology class where
+//    detection is guaranteed to be needed: the victims' overlay
+//    neighbourhood is the mute node). Time from the first broadcast until
+//    ANY correct node distrusts M (which victim catches it first depends
+//    on whose transmissions collide). Interval Local Completeness,
+//    sooner is better.
+//
+//  * false suspicions, on a dense failure-free network where collisions
+//    regularly make correct overlay neighbours *appear* silent: count of
+//    (correct suspects correct) pairs. Interval Strong Accuracy, fewer is
+//    better.
+//
+// Expected shape: aggressive settings (short timeout, threshold 1) detect
+// in under two seconds but convict correct nodes whose frames merely
+// collided; conservative settings stay clean but take several extra
+// seconds. The shipped default (800 ms / 3) detects in a few seconds with
+// zero false convictions.
+#include "bench_util.h"
+
+#include "byz/adversary.h"
+#include "mobility/static_mobility.h"
+
+namespace {
+
+using namespace byzcast;
+
+/// Detection latency at Y on the diamond; -1 if M is never suspected.
+double diamond_detection_latency(des::SimDuration expect_timeout,
+                                 int threshold) {
+  des::Simulator sim(17);
+  stats::Metrics metrics;
+  crypto::Pki pki(des::Rng(5));
+  radio::Medium medium(sim, std::make_unique<radio::UnitDisk>(), {},
+                       &metrics);
+  core::ProtocolConfig config;
+  config.gossip_period = des::millis(250);
+  config.hello_period = des::millis(500);
+  config.neighbor_timeout = des::millis(1800);
+  config.mute.expect_timeout = expect_timeout;
+  config.mute.suspicion_threshold = threshold;
+  config.mute.suspicion_interval = des::seconds(120);
+
+  std::vector<std::unique_ptr<mobility::MobilityModel>> mob;
+  std::vector<std::unique_ptr<radio::Radio>> radios;
+  std::vector<std::unique_ptr<core::ByzcastNode>> nodes;
+  auto add = [&](geo::Vec2 pos, byz::AdversaryKind kind) {
+    auto id = static_cast<NodeId>(radios.size());
+    mob.push_back(std::make_unique<mobility::StaticMobility>(pos));
+    radios.push_back(
+        std::make_unique<radio::Radio>(medium, id, *mob.back(), 100));
+    nodes.push_back(byz::make_adversary(kind, sim, *radios.back(), pki,
+                                        pki.register_node(id), config,
+                                        &metrics));
+    nodes.back()->start();
+  };
+  add({0, 0}, byz::AdversaryKind::kNone);
+  add({80, 0}, byz::AdversaryKind::kNone);
+  add({160, 0}, byz::AdversaryKind::kNone);
+  add({80, 60}, byz::AdversaryKind::kMute);
+
+  sim.run_until(des::seconds(4));
+  const des::SimTime start = sim.now();
+  for (int i = 0; i < 40; ++i) {
+    sim.schedule_at(start + des::millis(500) * i, [&, i] {
+      nodes[0]->broadcast(sim::make_payload(i, 64));
+    });
+  }
+  for (int tick = 1; tick <= 120; ++tick) {
+    sim.run_until(start + des::millis(250) * tick);
+    for (int correct = 0; correct < 3; ++correct) {
+      if (nodes[static_cast<std::size_t>(correct)]->trust().suspects(3)) {
+        return des::to_seconds(sim.now() - start);
+      }
+    }
+  }
+  return -1.0;
+}
+
+/// (correct, correct) suspicion pairs in a dense failure-free run.
+double false_suspicions(des::SimDuration expect_timeout, int threshold,
+                        int seeds) {
+  double total = 0;
+  int runs = 0;
+  std::uint64_t seed = 1700;
+  while (runs < seeds && seed < 1760) {
+    sim::ScenarioConfig config;
+    config.seed = seed++;
+    config.n = 40;
+    config.tx_range = 120;
+    double side = bench::density_side(40, config.tx_range, 14.0);
+    config.area = {side, side};  // dense: collision-heavy
+    config.num_broadcasts = 40;
+    config.broadcast_interval = des::millis(150);
+    config.protocol_config.mute.expect_timeout = expect_timeout;
+    config.protocol_config.mute.suspicion_threshold = threshold;
+    config.protocol_config.mute.suspicion_interval = des::seconds(120);
+    config.enable_trace = true;
+    sim::Network network(config);
+    if (!network.correct_graph_connected()) continue;
+    (void)sim::run_workload(network);
+    ++runs;
+    for (const trace::Event& e : network.trace().events()) {
+      if (e.kind == trace::EventKind::kSuspect) total += 1;
+    }
+  }
+  return runs == 0 ? -1 : total / runs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  int seeds = static_cast<int>(args.get_int("seeds", 3));
+
+  util::Table table({"expect_timeout_ms", "threshold",
+                     "detect_latency_s", "false_suspicions_per_run"});
+  for (std::uint64_t timeout_ms : {300u, 800u, 1600u}) {
+    for (int threshold : {1, 3, 5}) {
+      table.add_row(
+          {static_cast<std::int64_t>(timeout_ms),
+           static_cast<std::int64_t>(threshold),
+           diamond_detection_latency(des::millis(timeout_ms), threshold),
+           false_suspicions(des::millis(timeout_ms), threshold, seeds)});
+    }
+  }
+  bench::emit(table, args);
+  return 0;
+}

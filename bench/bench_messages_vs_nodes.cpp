@@ -1,0 +1,69 @@
+// E1 — "messages vs network size" (the paper's headline efficiency
+// figure): total packets per broadcast for flooding, the Byzantine
+// protocol over CDS and MIS+B overlays, and the f+1 independent-overlay
+// baseline, in failure-free runs at constant density.
+//
+// Expected shape: flooding costs ~n DATA transmissions per broadcast; the
+// overlay protocols cost a fraction of that (the backbone), plus cheap
+// aggregated gossip; the f+1 baseline costs ~(f+1) backbones.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace byzcast;
+  util::CliArgs args(argc, argv);
+  int seeds = static_cast<int>(args.get_int("seeds", 3));
+
+  // Default 256 B payloads keep the channel below collision saturation so
+  // the dissemination-strategy difference is what the figure shows. Rerun
+  // with --payload=1024 for the saturated regime, where flooding's
+  // delivery collapses and byzcast trades extra recovery DATA for its
+  // 1.0 delivery (see EXPERIMENTS.md E1 discussion).
+  auto payload = static_cast<std::size_t>(args.get_int("payload", 256));
+
+  util::Table table({"n", "protocol", "data_pkts_per_bcast",
+                     "total_pkts_per_bcast", "bytes_per_bcast", "delivery"});
+
+  struct Variant {
+    const char* name;
+    std::function<void(sim::ScenarioConfig&)> apply;
+  };
+  std::vector<Variant> variants = {
+      {"flooding",
+       [](sim::ScenarioConfig& c) { c.protocol = sim::ProtocolKind::kFlooding; }},
+      {"byzcast-cds",
+       [](sim::ScenarioConfig& c) {
+         c.protocol_config.overlay_kind = overlay::OverlayKind::kCds;
+       }},
+      {"byzcast-misb",
+       [](sim::ScenarioConfig& c) {
+         c.protocol_config.overlay_kind = overlay::OverlayKind::kMisB;
+       }},
+      {"gossip-only",
+       [](sim::ScenarioConfig& c) {
+         c.protocol_config.overlay_kind = overlay::OverlayKind::kNone;
+       }},
+      {"f+1-overlays(f=1)",
+       [](sim::ScenarioConfig& c) {
+         c.protocol = sim::ProtocolKind::kMultiOverlay;
+         c.multi_overlay_count = 2;
+       }},
+  };
+
+  for (std::size_t n : {25u, 50u, 100u, 150u, 200u}) {
+    for (const Variant& variant : variants) {
+      bench::Averaged avg = bench::run_averaged(
+          [&](std::uint64_t seed) {
+            sim::ScenarioConfig config = bench::default_scenario(n, seed);
+            config.payload_bytes = payload;
+            variant.apply(config);
+            return config;
+          },
+          seeds, 100 + n);
+      table.add_row({static_cast<std::int64_t>(n), std::string(variant.name),
+                     avg.data_packets_per_bcast, avg.total_packets_per_bcast,
+                     avg.bytes_per_bcast, avg.delivery});
+    }
+  }
+  bench::emit(table, args);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// E11 — engineering micro-benchmarks (google-benchmark): the crypto and
+// kernel primitives every simulated second leans on. Not a paper figure;
+// used to keep the substrate honest (e.g. a slow verify would distort the
+// protocol-level results by limiting feasible experiment sizes).
+#include <benchmark/benchmark.h>
+
+#include "core/message.h"
+#include "crypto/schnorr.h"
+#include "crypto/signature.h"
+#include "crypto/siphash.h"
+#include "des/event_queue.h"
+#include "des/rng.h"
+
+namespace {
+
+using namespace byzcast;
+
+void BM_SipHash(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 7);
+  crypto::SipKey key{1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::siphash24(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SipHash)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_SignatureSign(benchmark::State& state) {
+  crypto::Pki pki(des::Rng(1));
+  crypto::Signer signer = pki.register_node(1);
+  std::vector<std::uint8_t> data(256, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signer.sign(data));
+  }
+}
+BENCHMARK(BM_SignatureSign);
+
+void BM_SignatureVerify(benchmark::State& state) {
+  crypto::Pki pki(des::Rng(1));
+  // Realistic registry size: verification includes the key lookup.
+  crypto::Signer signer = pki.register_node(0);
+  for (NodeId id = 1; id < 100; ++id) pki.register_node(id);
+  std::vector<std::uint8_t> data(256, 7);
+  crypto::Signature sig = signer.sign(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pki.verify(0, data, sig));
+  }
+}
+BENCHMARK(BM_SignatureVerify);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  des::Rng rng(1);
+  crypto::SchnorrKeyPair keys = crypto::schnorr_keygen(rng);
+  std::vector<std::uint8_t> data(256, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::schnorr_sign(keys.sec, data, rng));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  des::Rng rng(1);
+  crypto::SchnorrKeyPair keys = crypto::schnorr_keygen(rng);
+  std::vector<std::uint8_t> data(256, 7);
+  crypto::SchnorrSignature sig = crypto::schnorr_sign(keys.sec, data, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::schnorr_verify(keys.pub, data, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  for (auto _ : state) {
+    des::EventQueue queue;
+    for (int i = 0; i < 1000; ++i) {
+      queue.schedule(static_cast<des::SimTime>((i * 37) % 997), [] {});
+    }
+    while (!queue.empty()) queue.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_DataSerializeParse(benchmark::State& state) {
+  core::DataMsg msg;
+  msg.id = {3, 17};
+  msg.payload.assign(256, 9);
+  msg.sig = {0x1234};
+  msg.gossip_sig = {0x5678};
+  for (auto _ : state) {
+    auto bytes = core::serialize(core::Packet{msg});
+    benchmark::DoNotOptimize(core::parse_packet(bytes));
+  }
+}
+BENCHMARK(BM_DataSerializeParse);
+
+void BM_RngNextBelow(benchmark::State& state) {
+  des::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_below(1000));
+  }
+}
+BENCHMARK(BM_RngNextBelow);
+
+}  // namespace
+
+BENCHMARK_MAIN();

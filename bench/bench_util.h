@@ -1,0 +1,120 @@
+// Shared helpers for the experiment benches (EXPERIMENTS.md).
+//
+// Every bench prints one paper-style table via util::Table; pass --csv to
+// any bench for machine-readable output. Points are averaged over
+// `--seeds` repetitions (default 3); seeds that violate the paper's
+// connected-correct-graph assumption are resampled so a partitioned
+// network never pollutes a mean.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+
+#include "sim/runner.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace byzcast::bench {
+
+/// Field side that keeps average neighbourhood size constant (~10
+/// neighbours within range) as n grows — the standard density-controlled
+/// MANET sweep.
+inline double density_side(std::size_t n, double range,
+                           double neighbors_per_disk = 10.0) {
+  return range * std::sqrt(3.14159265358979 * static_cast<double>(n) /
+                           neighbors_per_disk);
+}
+
+/// Baseline scenario all experiments start from.
+inline sim::ScenarioConfig default_scenario(std::size_t n,
+                                            std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.seed = seed;
+  config.n = n;
+  config.tx_range = 120;
+  double side = density_side(n, config.tx_range);
+  config.area = {side, side};
+  // Sustained workload (30 messages at 4/s): per-broadcast overhead
+  // figures amortize the periodic gossip/beacon machinery the way a live
+  // deployment would, instead of billing an idle network's beacons to a
+  // handful of messages.
+  config.num_broadcasts = 30;
+  config.broadcast_interval = des::millis(250);
+  config.payload_bytes = 256;
+  config.warmup = des::seconds(6);
+  config.cooldown = des::seconds(12);
+  return config;
+}
+
+struct Averaged {
+  double delivery = 0;
+  double latency_mean_ms = 0;
+  double latency_p99_ms = 0;
+  double latency_max_s = 0;  ///< max over all runs, not averaged
+  double data_packets_per_bcast = 0;
+  double total_packets_per_bcast = 0;
+  double bytes_per_bcast = 0;
+  double collisions = 0;
+  int runs = 0;
+};
+
+/// Runs `make_config(seed)` over several seeds and averages the standard
+/// metrics. Seeds whose correct graph is disconnected are replaced (up to
+/// 50 draws) so every point meets the paper's standing assumption.
+inline Averaged run_averaged(
+    const std::function<sim::ScenarioConfig(std::uint64_t)>& make_config,
+    int repetitions, std::uint64_t seed_base = 1000) {
+  Averaged avg;
+  std::uint64_t seed = seed_base;
+  int attempts = 0;
+  while (avg.runs < repetitions && attempts < repetitions + 50) {
+    ++attempts;
+    sim::ScenarioConfig config = make_config(seed++);
+    std::unique_ptr<sim::Network> network;
+    try {
+      network = std::make_unique<sim::Network>(config);
+    } catch (const std::runtime_error&) {
+      // e.g. this placement cannot supply k disjoint backbones: resample.
+      continue;
+    }
+    if (!network->correct_graph_connected()) continue;
+    sim::RunResult result = sim::run_workload(*network);
+    const stats::Metrics& m = result.metrics;
+    double bcasts = static_cast<double>(config.num_broadcasts);
+    avg.delivery += m.delivery_ratio();
+    avg.latency_mean_ms += 1e3 * m.latency().mean();
+    avg.latency_p99_ms += 1e3 * m.latency().percentile(0.99);
+    avg.latency_max_s = std::max(avg.latency_max_s, m.latency().max());
+    avg.data_packets_per_bcast +=
+        static_cast<double>(m.packets(stats::MsgKind::kData)) / bcasts;
+    avg.total_packets_per_bcast +=
+        static_cast<double>(m.total_packets()) / bcasts;
+    avg.bytes_per_bcast +=
+        static_cast<double>(m.total_packet_bytes()) / bcasts;
+    avg.collisions += static_cast<double>(m.frames_collided());
+    ++avg.runs;
+  }
+  if (avg.runs > 0) {
+    double r = avg.runs;
+    avg.delivery /= r;
+    avg.latency_mean_ms /= r;
+    avg.latency_p99_ms /= r;
+    avg.data_packets_per_bcast /= r;
+    avg.total_packets_per_bcast /= r;
+    avg.bytes_per_bcast /= r;
+    avg.collisions /= r;
+  }
+  return avg;
+}
+
+/// Prints the table as text or CSV per the --csv flag.
+inline void emit(const util::Table& table, const util::CliArgs& args) {
+  if (args.get_bool("csv", false)) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+}  // namespace byzcast::bench

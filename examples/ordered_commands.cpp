@@ -1,0 +1,78 @@
+// Reliable-layer demo: a coordinator streams ordered commands to a drone
+// swarm over the Byzantine broadcast, with FIFO delivery and flow
+// control (the paper's footnote-4 reliable mechanism, built in
+// src/reliable/). Mute drones in the swarm cannot break the stream —
+// every correct drone executes every command in issue order.
+//
+//   ./build/examples/ordered_commands [--n=30] [--mute=5] [--commands=25]
+#include <cstdio>
+
+#include "reliable/reliable_broadcast.h"
+#include "sim/runner.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace byzcast;
+  util::CliArgs args(argc, argv);
+
+  sim::ScenarioConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 12));
+  config.n = static_cast<std::size_t>(args.get_int("n", 30));
+  config.area = {450, 450};
+  config.tx_range = 140;
+  auto mute = static_cast<std::size_t>(args.get_int("mute", 5));
+  if (mute > 0) config.adversaries = {{byz::AdversaryKind::kMute, mute}};
+  auto commands = static_cast<std::size_t>(args.get_int("commands", 25));
+  args.reject_unknown();
+
+  sim::Network network(config);
+  des::Simulator& sim = network.simulator();
+  NodeId coordinator = network.senders()[0];
+
+  reliable::ReliableConfig rc;
+  rc.window = 5;
+  reliable::ReliableBroadcaster commander(
+      sim, *network.byzcast_node(coordinator), rc);
+
+  // Every correct drone runs a FIFO receiver; we track how many commands
+  // each has executed and assert in-order execution as they arrive.
+  std::map<NodeId, std::uint32_t> executed;
+  std::vector<std::unique_ptr<reliable::FifoReceiver>> receivers;
+  bool order_violated = false;
+  for (NodeId id : network.correct_nodes()) {
+    if (id == coordinator) continue;
+    executed[id] = 0;
+    receivers.push_back(std::make_unique<reliable::FifoReceiver>(
+        *network.byzcast_node(id),
+        [&, id](NodeId, std::uint32_t seq, std::span<const std::uint8_t>) {
+          if (seq != executed[id]) order_violated = true;
+          executed[id] = seq + 1;
+        }));
+  }
+
+  std::printf("swarm of %zu drones (%zu mute), streaming %zu commands "
+              "(window %zu)\n",
+              config.n, mute, commands, rc.window);
+  sim.run_until(des::seconds(6));
+  std::size_t refused = 0;
+  for (std::size_t i = 0; i < commands; ++i) {
+    if (!commander.try_submit(sim::make_payload(i, 96))) ++refused;
+    sim.run_until(sim.now() + des::millis(200));
+  }
+  sim.run_until(sim.now() + des::seconds(30));
+
+  std::uint32_t complete = 0;
+  for (const auto& [id, count] : executed) {
+    if (count == commander.broadcast_count()) ++complete;
+  }
+  std::printf("\ncommands broadcast: %llu (refused by backpressure: %zu)\n",
+              static_cast<unsigned long long>(commander.broadcast_count()),
+              refused);
+  std::printf("drones with the complete ordered stream: %u of %zu\n",
+              complete, executed.size());
+  std::printf("order violations observed: %s\n",
+              order_violated ? "YES (bug!)" : "none");
+  std::printf("coordinator stable floor: %u, still queued: %zu\n",
+              commander.stable_floor(), commander.queued());
+  return order_violated ? 1 : 0;
+}

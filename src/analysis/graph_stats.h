@@ -1,0 +1,55 @@
+// Topology and overlay-quality analyses (harness-side, DESIGN.md S18).
+//
+// Ground-truth graph metrics the benches and inspector report alongside
+// protocol results: degree statistics, hop diameter, component counts,
+// and the overlay quality report — how big the elected backbone is and
+// how much path stretch routing through it costs relative to shortest
+// paths in the full graph. Protocol nodes never see any of this.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/node_id.h"
+
+namespace byzcast::analysis {
+
+using Adjacency = std::vector<std::vector<std::size_t>>;
+
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0;
+};
+
+DegreeStats degree_stats(const Adjacency& adj);
+
+/// Number of connected components (0 for the empty graph).
+std::size_t component_count(const Adjacency& adj);
+
+/// Hop eccentricity diameter of the graph; 0 for empty/singleton,
+/// SIZE_MAX when disconnected.
+std::size_t hop_diameter(const Adjacency& adj);
+
+/// All-hops BFS from `source`; unreachable nodes get SIZE_MAX.
+std::vector<std::size_t> hop_distances(const Adjacency& adj,
+                                       std::size_t source);
+
+struct OverlayReport {
+  std::size_t backbone_size = 0;  ///< overlay members
+  bool dominating = false;        ///< every node in/adjacent to the backbone
+  bool backbone_connected = false;
+  /// Mean over connected node pairs of (path length routed via the
+  /// backbone) / (shortest path length). 1.0 = no stretch; 0 when not
+  /// computable (backbone unusable).
+  double mean_stretch = 0;
+};
+
+/// Evaluates `backbone` (indices into adj) as a dissemination overlay.
+/// Backbone routing: every hop except the first and last must be a
+/// backbone member — the path DATA actually takes when only overlay
+/// nodes forward.
+OverlayReport evaluate_overlay(const Adjacency& adj,
+                               const std::vector<NodeId>& backbone);
+
+}  // namespace byzcast::analysis

@@ -1,0 +1,112 @@
+#include "baselines/flooding_node.h"
+
+#include "util/bytes.h"
+
+namespace byzcast::baselines {
+
+namespace {
+constexpr std::uint8_t kFloodType = 0x10;
+constexpr std::size_t kMaxPayload = 64 * 1024;
+
+void write_sig(util::ByteWriter& w, crypto::Signature sig) {
+  w.u64(sig.tag);
+  for (std::size_t i = 8; i < crypto::kWireSignatureBytes; ++i) w.u8(0);
+}
+
+crypto::Signature read_sig(util::ByteReader& r) {
+  crypto::Signature sig{r.u64()};
+  for (std::size_t i = 8; i < crypto::kWireSignatureBytes; ++i) r.u8();
+  return sig;
+}
+}  // namespace
+
+std::vector<std::uint8_t> FloodingNode::sign_bytes(
+    NodeId origin, std::uint32_t seq, std::span<const std::uint8_t> payload) {
+  util::ByteWriter w(9 + payload.size());
+  w.u8(kFloodType);
+  w.u32(origin);
+  w.u32(seq);
+  w.raw(payload);
+  return w.take();
+}
+
+std::vector<std::uint8_t> FloodingNode::serialize(const FloodPacket& packet) {
+  util::ByteWriter w;
+  w.u8(kFloodType);
+  w.u32(packet.origin);
+  w.u32(packet.seq);
+  w.bytes(packet.payload);
+  write_sig(w, packet.sig);
+  return w.take();
+}
+
+std::optional<FloodingNode::FloodPacket> FloodingNode::parse(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.u8() != kFloodType) return std::nullopt;
+  FloodPacket packet;
+  packet.origin = r.u32();
+  packet.seq = r.u32();
+  packet.payload = r.bytes();
+  if (packet.payload.size() > kMaxPayload) return std::nullopt;
+  packet.sig = read_sig(r);
+  if (!r.done()) return std::nullopt;
+  return packet;
+}
+
+FloodingNode::FloodingNode(des::Simulator& sim, radio::Radio& radio,
+                           const crypto::Pki& pki, crypto::Signer signer,
+                           stats::Metrics* metrics)
+    : sim_(sim),
+      radio_(radio),
+      pki_(pki),
+      signer_(signer),
+      metrics_(metrics) {
+  radio_.set_receive_handler([this](const radio::Frame& frame) {
+    std::optional<FloodPacket> packet = parse(frame.payload);
+    if (packet) on_packet(*packet, frame.sender);
+  });
+}
+
+void FloodingNode::send_flood(const FloodPacket& packet) {
+  std::vector<std::uint8_t> bytes = serialize(packet);
+  if (metrics_ != nullptr) {
+    metrics_->on_packet_sent(stats::MsgKind::kData, bytes.size());
+  }
+  radio_.send(std::move(bytes));
+}
+
+void FloodingNode::broadcast(std::vector<std::uint8_t> payload) {
+  FloodPacket packet;
+  packet.origin = id();
+  packet.seq = next_seq_++;
+  packet.payload = std::move(payload);
+  packet.sig = signer_.sign(sign_bytes(packet.origin, packet.seq,
+                                       packet.payload));
+  seen_.emplace(packet.origin, packet.seq);
+  if (metrics_ != nullptr) {
+    metrics_->on_broadcast(stats::MessageKey{packet.origin, packet.seq},
+                           sim_.now(), targets_);
+  }
+  send_flood(packet);
+}
+
+void FloodingNode::on_packet(const FloodPacket& packet, NodeId /*from*/) {
+  if (seen_.count({packet.origin, packet.seq}) > 0) return;
+  // Verify before marking seen: a forged copy must not block the real one.
+  if (!pki_.verify(packet.origin,
+                   sign_bytes(packet.origin, packet.seq, packet.payload),
+                   packet.sig)) {
+    return;
+  }
+  seen_.emplace(packet.origin, packet.seq);
+  if (metrics_ != nullptr) {
+    metrics_->on_accept(stats::MessageKey{packet.origin, packet.seq}, id(),
+                        sim_.now());
+  }
+  if (accept_handler_) accept_handler_(packet.origin, packet.seq,
+                                       packet.payload);
+  send_flood(packet);
+}
+
+}  // namespace byzcast::baselines

@@ -1,0 +1,190 @@
+// The Byzantine-tolerant broadcast node — the paper's contribution
+// (Figures 1, 3 and 4), assembled from the substrates:
+//
+//   radio <-> [FD interceptor] <-> dissemination / gossip-recovery tasks
+//                    |                    |
+//            MUTE, VERBOSE, TRUST  <-> overlay maintenance
+//
+// Three concurrent tasks (§3):
+//  1. Dissemination: DATA flooded along overlay nodes only.
+//  2. Gossip & recovery: signature gossip lazycast by everyone;
+//     REQUEST_MSG / FIND_MISSING_MSG fetch messages the overlay failed to
+//     deliver (TTL-2 FIND bypasses one Byzantine overlay hop).
+//  3. Overlay maintenance: HELLO beacons + a pluggable trust-aware
+//     election rule (CDS or MIS+B).
+//
+// Every handler is virtual so Byzantine behaviours (byz/adversary.h) can
+// override precisely the step they corrupt while inheriting the rest of
+// the honest machinery — a Byzantine node is "a node running different
+// code", which is exactly how the type system models it here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/message.h"
+#include "core/message_store.h"
+#include "crypto/signature.h"
+#include "des/simulator.h"
+#include "des/timer.h"
+#include "fd/mute_fd.h"
+#include "fd/trust_fd.h"
+#include "fd/verbose_fd.h"
+#include "overlay/neighbor_table.h"
+#include "overlay/overlay.h"
+#include "radio/radio.h"
+#include "stats/metrics.h"
+#include "trace/trace.h"
+
+namespace byzcast::core {
+
+class ByzcastNode {
+ public:
+  /// Called exactly once per accepted message (validity property).
+  using AcceptHandler =
+      std::function<void(const MessageId&, std::span<const std::uint8_t>)>;
+
+  /// `radio` and `pki` must outlive the node. Installs itself as the
+  /// radio's receive handler.
+  ByzcastNode(des::Simulator& sim, radio::Radio& radio,
+              const crypto::Pki& pki, crypto::Signer signer,
+              ProtocolConfig config, stats::Metrics* metrics = nullptr);
+  virtual ~ByzcastNode() = default;
+  ByzcastNode(const ByzcastNode&) = delete;
+  ByzcastNode& operator=(const ByzcastNode&) = delete;
+
+  /// Arms the gossip/hello/purge timers (phase-randomized) and sends the
+  /// first HELLO. Call once after construction.
+  virtual void start();
+
+  /// The paper's broadcast(p, m): signs and disseminates `payload`.
+  void broadcast(std::vector<std::uint8_t> payload);
+
+  void set_accept_handler(AcceptHandler handler) {
+    accept_handler_ = std::move(handler);
+  }
+  /// Installs a structured event recorder (nullptr disables; default).
+  void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+  /// Number of nodes that should accept our broadcasts (correct nodes
+  /// minus us); only used for Metrics::on_broadcast bookkeeping.
+  void set_expected_targets(std::size_t targets) { targets_ = targets; }
+
+  // --- introspection (tests, benches, examples) ---------------------------
+  [[nodiscard]] NodeId id() const { return signer_.id(); }
+  [[nodiscard]] bool in_overlay() const { return active_; }
+  /// OL(1, p): neighbours that claim to be overlay nodes and that TRUST
+  /// does not distrust.
+  [[nodiscard]] std::vector<NodeId> overlay_neighbors() const;
+  [[nodiscard]] const MessageStore& store() const { return store_; }
+  [[nodiscard]] const overlay::NeighborTable& neighbor_table() const {
+    return table_;
+  }
+  [[nodiscard]] fd::MuteFd& mute() { return mute_; }
+  [[nodiscard]] fd::VerboseFd& verbose() { return verbose_; }
+  [[nodiscard]] fd::TrustFd& trust() { return trust_; }
+  [[nodiscard]] const ProtocolConfig& config() const { return config_; }
+  [[nodiscard]] std::uint32_t next_seq() const { return next_seq_; }
+
+ protected:
+  // --- dispatch (the FD interceptor of Figure 1) ---------------------------
+  virtual void on_frame(const radio::Frame& frame);
+  // --- the five upon-receive handlers of Figures 3/4 -----------------------
+  virtual void handle_data(const DataMsg& msg, NodeId from);
+  virtual void handle_gossip(const GossipMsg& msg, NodeId from);
+  virtual void handle_request(const RequestMsg& msg, NodeId from);
+  virtual void handle_find(const FindMissingMsg& msg, NodeId from);
+  virtual void handle_hello(const HelloMsg& msg, NodeId from);
+  // --- periodic tasks -------------------------------------------------------
+  virtual void on_gossip_tick();
+  virtual void on_hello_tick();
+
+  // --- helpers shared with adversaries --------------------------------------
+  void send_packet(const Packet& packet);
+  /// Sends DATA for a stored message with the given ttl, honouring the
+  /// reply-suppression window. No-op if not stored.
+  void reply_with_stored(const MessageId& id, std::uint8_t ttl);
+  /// Verifies both signatures of a DATA message.
+  [[nodiscard]] bool verify_data(const DataMsg& msg) const;
+  [[nodiscard]] bool verify_gossip_entry(const GossipEntry& entry) const;
+  /// Accepts + stores + forwards + gossips a verified DATA message
+  /// (the first-receipt body of Figure 3 lines 7-21).
+  void accept_and_forward(const DataMsg& msg, NodeId from);
+  /// Builds this node's current HELLO (signed).
+  [[nodiscard]] HelloMsg make_hello();
+  /// True when TRUST lets us rely on `node` for overlay purposes.
+  [[nodiscard]] bool reliable(NodeId node) const;
+  /// Records a suspicion with TRUST (single funnel for adversary hooks).
+  void suspect(NodeId node, fd::SuspicionReason reason);
+
+  /// Records a protocol event when tracing is enabled.
+  void trace_event(trace::EventKind kind, NodeId peer = kInvalidNode,
+                   MessageId id = {}, std::uint64_t a = 0) {
+    if (trace_ == nullptr) return;
+    trace_->record(trace::Event{sim_.now(), kind, signer_.id(), peer,
+                                id.origin, id.seq, a});
+  }
+
+  des::Simulator& sim_;
+  radio::Radio& radio_;
+  const crypto::Pki& pki_;
+  crypto::Signer signer_;
+  ProtocolConfig config_;
+  stats::Metrics* metrics_;
+  trace::TraceRecorder* trace_ = nullptr;
+  des::Rng rng_;
+
+  MessageStore store_;
+  GossipQueue gossip_queue_;
+  overlay::NeighborTable table_;
+  fd::MuteFd mute_;
+  fd::VerboseFd verbose_;
+  fd::TrustFd trust_;
+  std::unique_ptr<overlay::OverlayRule> overlay_rule_;
+  bool active_ = false;
+  bool dominator_ = false;
+
+  AcceptHandler accept_handler_;
+  std::size_t targets_ = 0;
+  std::uint32_t next_seq_ = 0;
+
+  des::PeriodicTimer gossip_timer_;
+  des::PeriodicTimer hello_timer_;
+
+  // Recovery bookkeeping: last REQUEST time per missing id, FINDs already
+  // relayed (per (id, issuer)) and issued (per id) to stop relay storms,
+  // and repeat counts of incoming REQUESTs (the §3.2.2 "too many times
+  // from the same node" rule).
+  std::map<MessageId, des::SimTime> last_request_;
+  std::map<std::pair<MessageId, NodeId>, des::SimTime> forwarded_finds_;
+  std::map<MessageId, des::SimTime> last_find_issued_;
+  std::map<std::pair<MessageId, NodeId>, int> request_counts_;
+
+  // Known-missing messages (gossip heard, data absent). Re-requested on
+  // the gossip tick until resolved or the attempt budget runs out, so a
+  // lost REQUEST or reply does not strand the message forever. Retries
+  // rotate across every node heard gossiping the id — a Byzantine
+  // gossiper that never supplies cannot monopolize the retries.
+  struct PendingMissing {
+    GossipEntry entry;
+    std::vector<NodeId> gossipers;
+    std::size_t next_target = 0;
+    int attempts = 0;
+    des::SimTime first_heard = 0;
+  };
+  std::map<MessageId, PendingMissing> pending_missing_;
+  static constexpr int kMaxRequestAttempts = 12;
+  void retry_pending_requests();
+  /// Re-gossips messages that neighbours' stability vectors show they
+  /// lack (config_.anti_entropy; see config.h).
+  void anti_entropy_regossip();
+};
+
+/// Factory for the two overlay rules of §3.3.
+std::unique_ptr<overlay::OverlayRule> make_overlay_rule(
+    overlay::OverlayKind kind);
+
+}  // namespace byzcast::core

@@ -1,0 +1,292 @@
+#include "core/message.h"
+
+namespace byzcast::core {
+
+namespace {
+
+// Caps that bound what a Byzantine sender can make us allocate.
+constexpr std::size_t kMaxPayload = 64 * 1024;
+constexpr std::size_t kMaxGossipEntries = 256;
+constexpr std::size_t kMaxNeighborList = 4096;
+constexpr std::size_t kMaxStabilityEntries = 512;
+
+void write_sig(util::ByteWriter& w, crypto::Signature sig) {
+  w.u64(sig.tag);
+  // Pad to the DSA wire size (crypto/signature.h).
+  for (std::size_t i = 8; i < crypto::kWireSignatureBytes; ++i) w.u8(0);
+}
+
+crypto::Signature read_sig(util::ByteReader& r) {
+  crypto::Signature sig{r.u64()};
+  for (std::size_t i = 8; i < crypto::kWireSignatureBytes; ++i) r.u8();
+  return sig;
+}
+
+void write_id(util::ByteWriter& w, const MessageId& id) {
+  w.u32(id.origin);
+  w.u32(id.seq);
+}
+
+MessageId read_id(util::ByteReader& r) {
+  MessageId id;
+  id.origin = r.u32();
+  id.seq = r.u32();
+  return id;
+}
+
+void write_entry(util::ByteWriter& w, const GossipEntry& e) {
+  write_id(w, e.id);
+  write_sig(w, e.origin_sig);
+}
+
+GossipEntry read_entry(util::ByteReader& r) {
+  GossipEntry e;
+  e.id = read_id(r);
+  e.origin_sig = read_sig(r);
+  return e;
+}
+
+void write_node_list(util::ByteWriter& w, const std::vector<NodeId>& nodes) {
+  w.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (NodeId n : nodes) w.u32(n);
+}
+
+void write_stability(util::ByteWriter& w,
+                     const std::vector<std::pair<NodeId, std::uint32_t>>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto& [origin, prefix] : v) {
+    w.u32(origin);
+    w.u32(prefix);
+  }
+}
+
+std::optional<std::vector<std::pair<NodeId, std::uint32_t>>> read_stability(
+    util::ByteReader& r) {
+  std::uint32_t count = r.u32();
+  if (!r.ok() || count > kMaxStabilityEntries) return std::nullopt;
+  std::vector<std::pair<NodeId, std::uint32_t>> v;
+  v.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NodeId origin = r.u32();
+    std::uint32_t prefix = r.u32();
+    v.emplace_back(origin, prefix);
+  }
+  if (!r.ok()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::vector<NodeId>> read_node_list(util::ByteReader& r) {
+  std::uint32_t count = r.u32();
+  if (!r.ok() || count > kMaxNeighborList) return std::nullopt;
+  std::vector<NodeId> nodes;
+  nodes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) nodes.push_back(r.u32());
+  if (!r.ok()) return std::nullopt;
+  return nodes;
+}
+
+}  // namespace
+
+stats::MsgKind to_msg_kind(MsgType type) {
+  switch (type) {
+    case MsgType::kData:
+      return stats::MsgKind::kData;
+    case MsgType::kGossip:
+      return stats::MsgKind::kGossip;
+    case MsgType::kRequestMsg:
+      return stats::MsgKind::kRequestMsg;
+    case MsgType::kFindMissingMsg:
+      return stats::MsgKind::kFindMissingMsg;
+    case MsgType::kHello:
+      return stats::MsgKind::kHello;
+  }
+  return stats::MsgKind::kOther;
+}
+
+std::vector<std::uint8_t> data_sign_bytes(
+    const MessageId& id, std::span<const std::uint8_t> payload) {
+  util::ByteWriter w(12 + payload.size());
+  w.u8(static_cast<std::uint8_t>(MsgType::kData));
+  write_id(w, id);
+  w.raw(payload);
+  return w.take();
+}
+
+std::vector<std::uint8_t> gossip_sign_bytes(const MessageId& id) {
+  util::ByteWriter w(9);
+  w.u8(static_cast<std::uint8_t>(MsgType::kGossip));
+  write_id(w, id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> hello_sign_bytes(const HelloMsg& hello) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kHello));
+  w.u32(hello.from);
+  w.u8(hello.active ? 1 : 0);
+  w.u8(hello.dominator ? 1 : 0);
+  write_node_list(w, hello.neighbors);
+  write_node_list(w, hello.dominator_neighbors);
+  write_node_list(w, hello.suspects);
+  write_stability(w, hello.stability);
+  return w.take();
+}
+
+MsgType packet_type(const Packet& packet) {
+  return std::visit(
+      [](const auto& p) -> MsgType {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, DataMsg>) return MsgType::kData;
+        if constexpr (std::is_same_v<T, GossipMsg>) return MsgType::kGossip;
+        if constexpr (std::is_same_v<T, RequestMsg>)
+          return MsgType::kRequestMsg;
+        if constexpr (std::is_same_v<T, FindMissingMsg>)
+          return MsgType::kFindMissingMsg;
+        if constexpr (std::is_same_v<T, HelloMsg>) return MsgType::kHello;
+      },
+      packet);
+}
+
+std::vector<std::uint8_t> serialize(const Packet& packet) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(packet_type(packet)));
+  std::visit(
+      [&w](const auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, DataMsg>) {
+          write_id(w, p.id);
+          w.u8(p.ttl);
+          w.bytes(p.payload);
+          write_sig(w, p.sig);
+          write_sig(w, p.gossip_sig);
+        } else if constexpr (std::is_same_v<T, GossipMsg>) {
+          w.u32(static_cast<std::uint32_t>(p.entries.size()));
+          for (const GossipEntry& e : p.entries) write_entry(w, e);
+          w.u8(p.hello.has_value() ? 1 : 0);
+          if (p.hello) {
+            w.u32(p.hello->from);
+            w.u8(p.hello->active ? 1 : 0);
+            w.u8(p.hello->dominator ? 1 : 0);
+            write_node_list(w, p.hello->neighbors);
+            write_node_list(w, p.hello->dominator_neighbors);
+            write_node_list(w, p.hello->suspects);
+            write_stability(w, p.hello->stability);
+            write_sig(w, p.hello->sig);
+          }
+        } else if constexpr (std::is_same_v<T, RequestMsg>) {
+          write_entry(w, p.entry);
+          w.u32(p.target);
+        } else if constexpr (std::is_same_v<T, FindMissingMsg>) {
+          write_entry(w, p.entry);
+          w.u32(p.gossiper);
+          w.u32(p.issuer);
+          w.u8(p.ttl);
+        } else if constexpr (std::is_same_v<T, HelloMsg>) {
+          w.u32(p.from);
+          w.u8(p.active ? 1 : 0);
+          w.u8(p.dominator ? 1 : 0);
+          write_node_list(w, p.neighbors);
+          write_node_list(w, p.dominator_neighbors);
+          write_node_list(w, p.suspects);
+          write_stability(w, p.stability);
+          write_sig(w, p.sig);
+        }
+      },
+      packet);
+  return w.take();
+}
+
+std::optional<Packet> parse_packet(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  auto type = r.u8();
+  if (!r.ok()) return std::nullopt;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kData: {
+      DataMsg m;
+      m.id = read_id(r);
+      m.ttl = r.u8();
+      {
+        // Bound payload size before materializing it.
+        if (!r.ok()) return std::nullopt;
+        m.payload = r.bytes();
+        if (m.payload.size() > kMaxPayload) return std::nullopt;
+      }
+      m.sig = read_sig(r);
+      m.gossip_sig = read_sig(r);
+      if (!r.done()) return std::nullopt;
+      return Packet{std::move(m)};
+    }
+    case MsgType::kGossip: {
+      GossipMsg m;
+      std::uint32_t count = r.u32();
+      if (!r.ok() || count > kMaxGossipEntries) return std::nullopt;
+      m.entries.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        m.entries.push_back(read_entry(r));
+      }
+      std::uint8_t has_hello = r.u8();
+      if (!r.ok() || has_hello > 1) return std::nullopt;
+      if (has_hello == 1) {
+        HelloMsg hello;
+        hello.from = r.u32();
+        hello.active = r.u8() != 0;
+        hello.dominator = r.u8() != 0;
+        auto neighbors = read_node_list(r);
+        auto dominator_neighbors = read_node_list(r);
+        auto suspects = read_node_list(r);
+        if (!neighbors || !dominator_neighbors || !suspects) {
+          return std::nullopt;
+        }
+        hello.neighbors = std::move(*neighbors);
+        hello.dominator_neighbors = std::move(*dominator_neighbors);
+        hello.suspects = std::move(*suspects);
+        auto stability = read_stability(r);
+        if (!stability) return std::nullopt;
+        hello.stability = std::move(*stability);
+        hello.sig = read_sig(r);
+        m.hello = std::move(hello);
+      }
+      if (!r.done()) return std::nullopt;
+      return Packet{std::move(m)};
+    }
+    case MsgType::kRequestMsg: {
+      RequestMsg m;
+      m.entry = read_entry(r);
+      m.target = r.u32();
+      if (!r.done()) return std::nullopt;
+      return Packet{std::move(m)};
+    }
+    case MsgType::kFindMissingMsg: {
+      FindMissingMsg m;
+      m.entry = read_entry(r);
+      m.gossiper = r.u32();
+      m.issuer = r.u32();
+      m.ttl = r.u8();
+      if (!r.done()) return std::nullopt;
+      return Packet{std::move(m)};
+    }
+    case MsgType::kHello: {
+      HelloMsg m;
+      m.from = r.u32();
+      m.active = r.u8() != 0;
+      m.dominator = r.u8() != 0;
+      auto neighbors = read_node_list(r);
+      auto dominator_neighbors = read_node_list(r);
+      auto suspects = read_node_list(r);
+      if (!neighbors || !dominator_neighbors || !suspects) return std::nullopt;
+      m.neighbors = std::move(*neighbors);
+      m.dominator_neighbors = std::move(*dominator_neighbors);
+      m.suspects = std::move(*suspects);
+      auto stability = read_stability(r);
+      if (!stability) return std::nullopt;
+      m.stability = std::move(*stability);
+      m.sig = read_sig(r);
+      if (!r.done()) return std::nullopt;
+      return Packet{std::move(m)};
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace byzcast::core

@@ -1,0 +1,126 @@
+// Wire formats of the five protocol message types (paper Figures 3 & 4).
+//
+//   DATA              msg_id ‖ origin ‖ ttl ‖ payload ‖ sig ‖ gossip_sig
+//   GOSSIP            aggregated entries of msg_id ‖ origin ‖ gossip_sig
+//   REQUEST_MSG       one gossip entry ‖ target   (line 32: ask `target`
+//                     and overlay neighbours to retransmit)
+//   FIND_MISSING_MSG  one gossip entry ‖ gossiper ‖ issuer ‖ ttl
+//   HELLO             status ‖ neighbours ‖ suspects ‖ sig   (§3.3 beacons,
+//                     "overlay maintenance messages are signed as well")
+//
+// Two deliberate deviations from the pseudo-code, both sanctioned by the
+// paper's own footnotes:
+//  * The originator's gossip signature rides inside DATA (footnote 5:
+//    "possible to piggyback the first gossip of a message"), so any node
+//    holding a message can relay its gossip — receiving DATA counts as
+//    having received the gossip about it.
+//  * Gossip entries are aggregated into one packet per gossip period
+//    (§1: "multiple gossip messages are aggregated into one packet").
+//
+// Signatures occupy crypto::kWireSignatureBytes (40 B, DSA-sized) on the
+// wire so byte accounting matches the paper's implementation; see
+// crypto/signature.h.
+//
+// Parsing is total: `parse_packet` returns std::nullopt on any malformed
+// input (Byzantine nodes control every payload byte).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "crypto/signature.h"
+#include "stats/metrics.h"
+#include "util/bytes.h"
+#include "util/node_id.h"
+
+namespace byzcast::core {
+
+enum class MsgType : std::uint8_t {
+  kData = 1,
+  kGossip = 2,
+  kRequestMsg = 3,
+  kFindMissingMsg = 4,
+  kHello = 5,
+};
+
+stats::MsgKind to_msg_kind(MsgType type);
+
+/// Identity of one application broadcast.
+struct MessageId {
+  NodeId origin = kInvalidNode;
+  std::uint32_t seq = 0;
+  auto operator<=>(const MessageId&) const = default;
+};
+
+/// msg_id ‖ node_id ‖ sig(msg_id ‖ node_id) — the paper's "gossip
+/// message", signed by the originator.
+struct GossipEntry {
+  MessageId id;
+  crypto::Signature origin_sig;
+};
+
+struct DataMsg {
+  MessageId id;
+  std::uint8_t ttl = 1;
+  std::vector<std::uint8_t> payload;
+  crypto::Signature sig;         ///< originator over (origin, seq, payload)
+  crypto::Signature gossip_sig;  ///< originator over (origin, seq)
+
+  [[nodiscard]] GossipEntry gossip_entry() const { return {id, gossip_sig}; }
+};
+
+struct HelloMsg {
+  NodeId from = kInvalidNode;
+  bool active = false;     ///< overlay member (dominator or bridge)
+  bool dominator = false;  ///< MIS dominator / CDS member (implies active)
+  std::vector<NodeId> neighbors;  ///< sender's current N(1) view
+  /// Subset of `neighbors` the sender believes are dominators — the §3.3
+  /// "list of its active neighbors" that bridge election consumes.
+  std::vector<NodeId> dominator_neighbors;
+  std::vector<NodeId> suspects;  ///< sender's untrusted set (§3.3 reports)
+  /// Stability vector: per-origin contiguous-accept prefixes ("I have all
+  /// of origin o's messages below seq p"), driving the §3.2.2
+  /// stability-detection purge when PurgePolicy::kStability is selected.
+  std::vector<std::pair<NodeId, std::uint32_t>> stability;
+  crypto::Signature sig;  ///< sender over all fields above
+};
+
+struct GossipMsg {
+  std::vector<GossipEntry> entries;
+  /// Piggybacked overlay beacon (§3: "most overlay maintenance messages
+  /// can be piggybacked on gossip messages"). A node's hello tick rides
+  /// its pending gossip bundle instead of paying for its own packet.
+  std::optional<HelloMsg> hello;
+};
+
+struct RequestMsg {
+  GossipEntry entry;
+  NodeId target = kInvalidNode;  ///< the gossiper being asked (p_k in Fig 4)
+};
+
+struct FindMissingMsg {
+  GossipEntry entry;
+  NodeId gossiper = kInvalidNode;  ///< p_k: node known to claim the message
+  NodeId issuer = kInvalidNode;    ///< overlay node that issued the FIND
+  std::uint8_t ttl = 2;
+};
+
+using Packet =
+    std::variant<DataMsg, GossipMsg, RequestMsg, FindMissingMsg, HelloMsg>;
+
+/// Bytes a signature of `id` covers for DATA (origin ‖ seq ‖ payload).
+std::vector<std::uint8_t> data_sign_bytes(
+    const MessageId& id, std::span<const std::uint8_t> payload);
+/// Bytes the gossip signature covers (origin ‖ seq).
+std::vector<std::uint8_t> gossip_sign_bytes(const MessageId& id);
+/// Bytes a HELLO signature covers (everything but the signature).
+std::vector<std::uint8_t> hello_sign_bytes(const HelloMsg& hello);
+
+std::vector<std::uint8_t> serialize(const Packet& packet);
+std::optional<Packet> parse_packet(std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] MsgType packet_type(const Packet& packet);
+
+}  // namespace byzcast::core

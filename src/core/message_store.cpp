@@ -1,0 +1,88 @@
+#include "core/message_store.h"
+
+namespace byzcast::core {
+
+bool MessageStore::insert(DataMsg msg, des::SimTime now) {
+  MessageId id = msg.id;
+  auto [it, inserted] =
+      stored_.emplace(id, Stored{std::move(msg), now, false, 0, now});
+  return inserted;
+}
+
+bool MessageStore::has(const MessageId& id) const {
+  return stored_.count(id) > 0;
+}
+
+MessageStore::Stored* MessageStore::find(const MessageId& id) {
+  auto it = stored_.find(id);
+  return it == stored_.end() ? nullptr : &it->second;
+}
+
+const MessageStore::Stored* MessageStore::find(const MessageId& id) const {
+  auto it = stored_.find(id);
+  return it == stored_.end() ? nullptr : &it->second;
+}
+
+bool MessageStore::mark_accepted(const MessageId& id) {
+  if (!accepted_.insert(id).second) return false;
+  // Advance the contiguous prefix while the next expected seq is here.
+  std::uint32_t& next = prefix_[id.origin];
+  while (accepted_.count({id.origin, next}) > 0) ++next;
+  return true;
+}
+
+std::uint32_t MessageStore::stability_prefix(NodeId origin) const {
+  auto it = prefix_.find(origin);
+  return it == prefix_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<NodeId, std::uint32_t>> MessageStore::stability_vector()
+    const {
+  std::vector<std::pair<NodeId, std::uint32_t>> out;
+  out.reserve(prefix_.size());
+  for (const auto& [origin, next] : prefix_) {
+    if (next > 0) out.emplace_back(origin, next);
+  }
+  return out;
+}
+
+bool MessageStore::accepted(const MessageId& id) const {
+  return accepted_.count(id) > 0;
+}
+
+void MessageStore::mark_gossip_seen(const MessageId& id) {
+  gossip_seen_.insert(id);
+}
+
+bool MessageStore::gossip_seen(const MessageId& id) const {
+  return gossip_seen_.count(id) > 0;
+}
+
+void MessageStore::purge_if(
+    des::SimTime now, des::SimDuration min_age,
+    const std::function<bool(const MessageId&)>& stable) {
+  for (auto it = stored_.begin(); it != stored_.end();) {
+    bool old_enough = now >= min_age && it->second.received_at <= now - min_age;
+    if (old_enough && stable(it->first)) {
+      gossip_seen_.erase(it->first);
+      it = stored_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MessageStore::purge(des::SimTime now, des::SimDuration max_age) {
+  if (now < max_age) return;
+  des::SimTime cutoff = now - max_age;
+  for (auto it = stored_.begin(); it != stored_.end();) {
+    if (it->second.received_at < cutoff) {
+      gossip_seen_.erase(it->first);
+      it = stored_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace byzcast::core

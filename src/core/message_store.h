@@ -1,0 +1,81 @@
+// Per-node message buffer with timeout purging (paper §3.2.2: "we have
+// chosen to use timeout based purging due to its simplicity") and the
+// at-most-once accept bookkeeping the validity property requires.
+//
+// Stored messages back the recovery path (answering REQUEST_MSG /
+// FIND_MISSING_MSG); the accepted-id set is kept separately and is never
+// purged, so a duplicate arriving after its buffer entry expired is still
+// filtered. §3.5 bounds the buffer at max_timeout·(n−1)·δ messages; the
+// purge timeout is the config knob realizing that bound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include <utility>
+#include <vector>
+
+#include "core/message.h"
+#include "des/time.h"
+
+namespace byzcast::core {
+
+class MessageStore {
+ public:
+  struct Stored {
+    DataMsg msg;
+    des::SimTime received_at = 0;
+    bool gossip_enqueued = false;  ///< lazycast started for this message
+    des::SimTime last_reply = 0;   ///< last retransmission we sent
+    /// Last time any copy was heard on the air (first receipt or a
+    /// duplicate) — recovery replies are suppressed while a copy is
+    /// fresh, the standard broadcast-storm damper.
+    des::SimTime last_seen = 0;
+  };
+
+  /// Inserts a verified message. Returns false if already present.
+  bool insert(DataMsg msg, des::SimTime now);
+
+  [[nodiscard]] bool has(const MessageId& id) const;
+  /// Mutable access for reply bookkeeping; nullptr if absent/purged.
+  [[nodiscard]] Stored* find(const MessageId& id);
+  [[nodiscard]] const Stored* find(const MessageId& id) const;
+
+  /// Marks `id` accepted. Returns true exactly once per id.
+  bool mark_accepted(const MessageId& id);
+  [[nodiscard]] bool accepted(const MessageId& id) const;
+
+  /// Stability prefix for `origin`: the lowest sequence number NOT yet
+  /// accepted — i.e. all of (origin, 0..prefix-1) have been accepted.
+  /// Drives the stability-detection purging of §3.2.2.
+  [[nodiscard]] std::uint32_t stability_prefix(NodeId origin) const;
+  /// All origins with a non-zero stability prefix, as (origin, prefix).
+  [[nodiscard]] std::vector<std::pair<NodeId, std::uint32_t>>
+  stability_vector() const;
+
+  /// Records that a gossip about `id` was heard (from any source).
+  void mark_gossip_seen(const MessageId& id);
+  [[nodiscard]] bool gossip_seen(const MessageId& id) const;
+
+  /// Drops stored messages received before `now - max_age`. Gossip-seen
+  /// marks for purged messages are dropped too; accepted ids are kept.
+  void purge(des::SimTime now, des::SimDuration max_age);
+
+  /// Drops stored messages for which `stable` returns true (and which
+  /// are older than `min_age`) — the §3.2.2 stability-detection purge.
+  void purge_if(des::SimTime now, des::SimDuration min_age,
+                const std::function<bool(const MessageId&)>& stable);
+
+  [[nodiscard]] std::size_t size() const { return stored_.size(); }
+  [[nodiscard]] std::size_t accepted_count() const { return accepted_.size(); }
+
+ private:
+  std::map<MessageId, Stored> stored_;
+  std::set<MessageId> accepted_;
+  std::set<MessageId> gossip_seen_;
+  std::map<NodeId, std::uint32_t> prefix_;  // per-origin contiguous accepts
+};
+
+}  // namespace byzcast::core

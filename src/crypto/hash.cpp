@@ -1,0 +1,35 @@
+#include "crypto/hash.h"
+
+namespace byzcast::crypto {
+
+namespace {
+constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+}  // namespace
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
+  std::uint64_t h = kOffset;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= kPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = kOffset;
+  for (char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kPrime;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9E3779B97F4A7C15ULL + (b << 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace byzcast::crypto

@@ -1,0 +1,23 @@
+// Unkeyed 64-bit hashing for message identifiers and content digests.
+//
+// FNV-1a is enough here: ids only need to be collision-unlikely within a
+// run, not adversary-resistant (integrity comes from signatures, which are
+// keyed — see crypto/signature.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace byzcast::crypto {
+
+/// 64-bit FNV-1a of a byte span.
+std::uint64_t fnv1a(std::span<const std::uint8_t> data);
+
+/// 64-bit FNV-1a of text.
+std::uint64_t fnv1a(std::string_view text);
+
+/// Mixes two 64-bit values (for composing digests of structured data).
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b);
+
+}  // namespace byzcast::crypto

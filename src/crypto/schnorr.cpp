@@ -1,0 +1,63 @@
+#include "crypto/schnorr.h"
+
+#include "crypto/hash.h"
+
+namespace byzcast::crypto {
+
+namespace {
+// Largest 64-bit prime; g = 7 generates a large subgroup of Z_p^*.
+constexpr std::uint64_t kP = 0xFFFFFFFFFFFFFFC5ULL;
+constexpr std::uint64_t kOrder = kP - 1;  // we work in the full group
+constexpr std::uint64_t kG = 7;
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t hash_challenge(std::uint64_t r,
+                             std::span<const std::uint8_t> message) {
+  std::uint64_t h = fnv1a(message);
+  return mix64(r, h) % kOrder;
+}
+}  // namespace
+
+SchnorrKeyPair schnorr_keygen(des::Rng& rng) {
+  std::uint64_t x = 1 + rng.next_below(kOrder - 1);
+  return {SchnorrPublicKey{powmod(kG, x, kP)}, SchnorrSecretKey{x}};
+}
+
+SchnorrSignature schnorr_sign(const SchnorrSecretKey& sk,
+                              std::span<const std::uint8_t> message,
+                              des::Rng& rng) {
+  std::uint64_t k = 1 + rng.next_below(kOrder - 1);
+  std::uint64_t r = powmod(kG, k, kP);
+  std::uint64_t e = hash_challenge(r, message);
+  // s = k - x*e (mod order), computed without 64-bit overflow.
+  std::uint64_t xe = mulmod(sk.x % kOrder, e, kOrder);
+  std::uint64_t s = k >= xe ? k - xe : k + (kOrder - xe);
+  return {e, s};
+}
+
+bool schnorr_verify(const SchnorrPublicKey& pk,
+                    std::span<const std::uint8_t> message,
+                    const SchnorrSignature& sig) {
+  if (sig.e >= kOrder || sig.s >= kOrder) return false;
+  // r' = g^s * y^e mod p
+  std::uint64_t rv =
+      mulmod(powmod(kG, sig.s, kP), powmod(pk.y, sig.e, kP), kP);
+  return hash_challenge(rv, message) == sig.e;
+}
+
+}  // namespace byzcast::crypto

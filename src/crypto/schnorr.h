@@ -1,0 +1,55 @@
+// Toy Schnorr signatures over a 64-bit prime field.
+//
+// Included to demonstrate the full asymmetric shape (private signing key,
+// public verification key, no shared secret) behind the same interface the
+// MAC-based scheme offers. The group is far too small to be secure —
+// discrete logs in a 64-bit field are trivial — so production use is out
+// of the question; it exists so the repository shows where real DSA/Schnorr
+// would slot in and so benches can compare the cost profile of asymmetric
+// vs symmetric verification (bench_micro).
+//
+// Scheme (textbook Schnorr over Z_p^* with generator g):
+//   keygen:  x <- [1, p-2],          y = g^x mod p
+//   sign:    k <- [1, p-2],          r = g^k mod p,
+//            e = H(r || m) mod (p-1), s = (k - x*e) mod (p-1)
+//   verify:  r' = g^s * y^e mod p,   accept iff H(r' || m) == e
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "des/rng.h"
+
+namespace byzcast::crypto {
+
+struct SchnorrPublicKey {
+  std::uint64_t y = 0;
+};
+
+struct SchnorrSecretKey {
+  std::uint64_t x = 0;
+};
+
+struct SchnorrKeyPair {
+  SchnorrPublicKey pub;
+  SchnorrSecretKey sec;
+};
+
+struct SchnorrSignature {
+  std::uint64_t e = 0;
+  std::uint64_t s = 0;
+  friend bool operator==(const SchnorrSignature&,
+                         const SchnorrSignature&) = default;
+};
+
+SchnorrKeyPair schnorr_keygen(des::Rng& rng);
+
+SchnorrSignature schnorr_sign(const SchnorrSecretKey& sk,
+                              std::span<const std::uint8_t> message,
+                              des::Rng& rng);
+
+[[nodiscard]] bool schnorr_verify(const SchnorrPublicKey& pk,
+                                  std::span<const std::uint8_t> message,
+                                  const SchnorrSignature& sig);
+
+}  // namespace byzcast::crypto

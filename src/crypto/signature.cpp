@@ -1,0 +1,45 @@
+#include "crypto/signature.h"
+
+#include <stdexcept>
+
+namespace byzcast::crypto {
+
+std::uint64_t Pki::tag_for(NodeId id, SipKey key,
+                           std::span<const std::uint8_t> data) {
+  // Domain-separate by signer id so a tag from node A is never valid for
+  // node B even if (impossibly) their keys collided.
+  std::vector<std::uint8_t> buf;
+  buf.reserve(4 + data.size());
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(id >> (8 * i)));
+  }
+  buf.insert(buf.end(), data.begin(), data.end());
+  return siphash24(key, buf);
+}
+
+Signature Signer::sign(std::span<const std::uint8_t> data) const {
+  return Signature{Pki::tag_for(id_, key_, data)};
+}
+
+Signer Pki::register_node(NodeId id) {
+  for (const auto& [existing, key] : keys_) {
+    if (existing == id) {
+      throw std::invalid_argument("Pki::register_node: id already registered");
+    }
+  }
+  SipKey key{rng_.next_u64(), rng_.next_u64()};
+  keys_.emplace_back(id, key);
+  return Signer(id, key);
+}
+
+bool Pki::verify(NodeId claimed_signer, std::span<const std::uint8_t> data,
+                 Signature sig) const {
+  for (const auto& [id, key] : keys_) {
+    if (id == claimed_signer) {
+      return tag_for(id, key, data) == sig.tag;
+    }
+  }
+  return false;
+}
+
+}  // namespace byzcast::crypto

@@ -1,0 +1,23 @@
+// SipHash-2-4: the keyed PRF underlying our simulated signatures.
+//
+// Reference algorithm (Aumasson & Bernstein, 2012) implemented verbatim.
+// With a 128-bit key, a party that does not hold the key cannot produce a
+// valid tag except by 2^-64 chance — exactly the unforgeability property
+// the broadcast protocol needs from DSA (DESIGN.md §5 substitution 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace byzcast::crypto {
+
+struct SipKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+  friend bool operator==(const SipKey&, const SipKey&) = default;
+};
+
+/// 64-bit SipHash-2-4 tag of `data` under `key`.
+std::uint64_t siphash24(SipKey key, std::span<const std::uint8_t> data);
+
+}  // namespace byzcast::crypto

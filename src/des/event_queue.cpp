@@ -1,0 +1,50 @@
+#include "des/event_queue.h"
+
+#include <cassert>
+
+namespace byzcast::des {
+
+EventId EventQueue::schedule(SimTime at, std::function<void()> action) {
+  EventId id = next_id_++;
+  heap_.push(HeapItem{at, next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = actions_.find(id);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+    const_cast<std::unordered_set<EventId>&>(cancelled_).erase(heap_.top().id);
+    const_cast<EventQueue*>(this)->heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Entry EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  HeapItem item = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(item.id);
+  assert(it != actions_.end());
+  Entry entry{item.at, item.id, std::move(it->second)};
+  actions_.erase(it);
+  --live_count_;
+  return entry;
+}
+
+}  // namespace byzcast::des

@@ -1,0 +1,71 @@
+// Pending-event set for the discrete-event kernel.
+//
+// A binary heap ordered by (time, insertion sequence): the sequence tiebreak
+// makes simultaneous events fire in insertion order, which is what makes a
+// run deterministic. Cancellation is lazy — cancelled entries stay in the
+// heap and are skipped on pop — because protocol timers are cancelled far
+// more often than they fire and eager removal would cost O(n).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "des/time.h"
+
+namespace byzcast::des {
+
+/// Handle for cancelling a scheduled event. 0 is never a valid id.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `at`. Returns a cancellation id.
+  EventId schedule(SimTime at, std::function<void()> action);
+
+  /// Cancels a pending event. Returns false if already fired/cancelled.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event; undefined when empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  struct Entry {
+    SimTime at;
+    EventId id;
+    std::function<void()> action;
+  };
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  Entry pop();
+
+ private:
+  struct HeapItem {
+    SimTime at;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  // Actions stored aside so cancel() can release captured resources early.
+  std::unordered_map<EventId, std::function<void()>> actions_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace byzcast::des

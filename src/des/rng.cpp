@@ -1,0 +1,85 @@
+#include "des/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace byzcast::des {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::next_below: bound == 0");
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return next_double() < p;
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0) throw std::invalid_argument("Rng::exponential: mean <= 0");
+  double u = next_double();
+  // next_double() < 1, so 1-u > 0 and the log is finite.
+  return -mean * std::log(1.0 - u);
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  // Child state is derived from fresh parent draws re-mixed through
+  // splitmix64 so parent and child sequences are decorrelated.
+  std::uint64_t sm = next_u64();
+  for (auto& s : child.s_) s = splitmix64(sm);
+  return child;
+}
+
+}  // namespace byzcast::des

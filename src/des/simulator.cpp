@@ -1,0 +1,30 @@
+#include "des/simulator.h"
+
+namespace byzcast::des {
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    EventQueue::Entry entry = queue_.pop();
+    now_ = entry.at;
+    entry.action();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  events_executed_ += executed;
+  return executed;
+}
+
+std::size_t Simulator::run_to_completion() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    EventQueue::Entry entry = queue_.pop();
+    now_ = entry.at;
+    entry.action();
+    ++executed;
+  }
+  events_executed_ += executed;
+  return executed;
+}
+
+}  // namespace byzcast::des

@@ -1,0 +1,32 @@
+// Simulated time.
+//
+// Time is an integer count of microseconds since the start of the run.
+// Integer ticks (not floating seconds) keep event ordering exact and runs
+// bit-reproducible across platforms (DESIGN.md §6).
+#pragma once
+
+#include <cstdint>
+
+namespace byzcast::des {
+
+/// Simulated time in microseconds since run start.
+using SimTime = std::uint64_t;
+
+/// Duration in microseconds.
+using SimDuration = std::uint64_t;
+
+inline constexpr SimDuration micros(std::uint64_t n) { return n; }
+inline constexpr SimDuration millis(std::uint64_t n) { return n * 1000; }
+inline constexpr SimDuration seconds(std::uint64_t n) { return n * 1'000'000; }
+
+/// Converts fractional seconds to ticks (for human-friendly configs).
+inline constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * 1e6);
+}
+
+/// Converts ticks to fractional seconds (for reporting).
+inline constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / 1e6;
+}
+
+}  // namespace byzcast::des

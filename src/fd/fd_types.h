@@ -1,0 +1,59 @@
+// Shared failure-detector vocabulary (paper §2.2, Figure 2).
+//
+// The detectors are deliberately decoupled from the broadcast protocol:
+// they see message *headers* — "the header part can be anticipated based
+// on local information only" — as (type, origin, seq) triples with a raw
+// type code, plus the link-layer sender. The protocol owns the mapping
+// from its message enum to these codes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/node_id.h"
+
+namespace byzcast::fd {
+
+/// Anticipatable header of a protocol message.
+struct MessageHeader {
+  std::uint8_t type = 0;
+  NodeId origin = kInvalidNode;
+  std::uint32_t seq = 0;
+  friend bool operator==(const MessageHeader&, const MessageHeader&) = default;
+};
+
+/// Header pattern with optional wildcards, as the paper's expect() allows
+/// ("the header passed to this method can include wildcards as well as
+/// exact values for each of the header's fields").
+struct HeaderPattern {
+  std::optional<std::uint8_t> type;
+  std::optional<NodeId> origin;
+  std::optional<std::uint32_t> seq;
+
+  [[nodiscard]] bool matches(const MessageHeader& h) const {
+    if (type && *type != h.type) return false;
+    if (origin && *origin != h.origin) return false;
+    if (seq && *seq != h.seq) return false;
+    return true;
+  }
+  friend bool operator==(const HeaderPattern&, const HeaderPattern&) = default;
+};
+
+/// Why TRUST lowered its opinion of a node.
+enum class SuspicionReason : std::uint8_t {
+  kBadSignature,       // signature did not verify (paper lines 23/40/60/80)
+  kMute,               // reported by MUTE
+  kVerbose,            // reported by VERBOSE
+  kProtocolViolation,  // other locally observable deviation
+};
+
+const char* suspicion_reason_name(SuspicionReason reason);
+
+/// The overlay_trust variable of §3.3.
+enum class TrustLevel : std::uint8_t {
+  kTrusted,    // no reason to suspect
+  kUnknown,    // a trusted neighbour reported a suspicion
+  kUntrusted,  // our own TRUST detector suspects the node
+};
+
+}  // namespace byzcast::fd

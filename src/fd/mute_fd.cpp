@@ -1,0 +1,126 @@
+#include "fd/mute_fd.h"
+
+#include <algorithm>
+
+namespace byzcast::fd {
+
+MuteFd::MuteFd(des::Simulator& sim, MuteFdConfig config)
+    : sim_(sim),
+      config_(config),
+      aging_timer_(sim, config.aging_period, [this] { age_counters(); }) {
+  aging_timer_.start();
+}
+
+void MuteFd::expect(HeaderPattern pattern, std::vector<NodeId> nodes,
+                    Mode mode, Satisfy satisfy) {
+  if (nodes.empty()) return;
+  // Deduplicate: an identical outstanding expectation would double-count
+  // a single silence.
+  for (const Expectation& e : expectations_) {
+    if (e.pattern == pattern && e.mode == mode && e.outstanding == nodes) {
+      return;
+    }
+  }
+  expectations_.push_back(
+      Expectation{pattern, std::move(nodes), mode, satisfy, /*timeout=*/0});
+  auto handle = std::prev(expectations_.end());
+  handle->timeout = sim_.schedule_after(config_.expect_timeout,
+                                        [this, handle] { on_timeout(handle); });
+}
+
+void MuteFd::observe(const MessageHeader& header, NodeId from) {
+  for (auto it = expectations_.begin(); it != expectations_.end();) {
+    if (!it->pattern.matches(header)) {
+      ++it;
+      continue;
+    }
+    auto pos = std::find(it->outstanding.begin(), it->outstanding.end(), from);
+    if (pos == it->outstanding.end()) {
+      if (it->satisfy == Satisfy::kAnySender) {
+        // The awaited message arrived (from someone else): the listed
+        // nodes are off the hook.
+        sim_.cancel(it->timeout);
+        it = expectations_.erase(it);
+        continue;
+      }
+      ++it;
+      continue;
+    }
+    bool satisfied;
+    if (it->mode == Mode::kOne) {
+      satisfied = true;  // any one sender discharges the expectation
+    } else {
+      it->outstanding.erase(pos);
+      satisfied = it->outstanding.empty();
+    }
+    if (satisfied) {
+      sim_.cancel(it->timeout);
+      it = expectations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MuteFd::on_timeout(ExpectationHandle handle) {
+  for (NodeId node : handle->outstanding) record_miss(node);
+  expectations_.erase(handle);
+}
+
+void MuteFd::record_miss(NodeId node) {
+  int count = ++miss_count_[node];
+  if (count < config_.suspicion_threshold) return;
+  bool newly = !suspected(node);
+  suspected_until_[node] = sim_.now() + config_.suspicion_interval;
+  if (newly && on_suspect_) on_suspect_(node);
+}
+
+void MuteFd::age_counters() {
+  for (auto it = miss_count_.begin(); it != miss_count_.end();) {
+    if (--it->second <= 0) {
+      it = miss_count_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Expired suspicions are garbage-collected here; suspected() already
+  // treats them as cleared.
+  for (auto it = suspected_until_.begin(); it != suspected_until_.end();) {
+    if (it->second <= sim_.now()) {
+      it = suspected_until_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool MuteFd::suspected(NodeId node) const {
+  auto it = suspected_until_.find(node);
+  return it != suspected_until_.end() && it->second > sim_.now();
+}
+
+std::vector<NodeId> MuteFd::suspects() const {
+  std::vector<NodeId> out;
+  for (const auto& [node, until] : suspected_until_) {
+    if (until > sim_.now()) out.push_back(node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void MuteFd::forget(NodeId node) {
+  for (auto it = expectations_.begin(); it != expectations_.end();) {
+    auto pos = std::find(it->outstanding.begin(), it->outstanding.end(), node);
+    if (pos != it->outstanding.end()) {
+      it->outstanding.erase(pos);
+      if (it->outstanding.empty()) {
+        sim_.cancel(it->timeout);
+        it = expectations_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
+}  // namespace byzcast::fd

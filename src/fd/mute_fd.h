@@ -1,0 +1,97 @@
+// MUTE failure detector (classes ◇P-mute / I-mute, paper §2.2, §3.1).
+//
+// The protocol registers *expectations*: "one of {nodes} (or all of them)
+// should send a message matching this header pattern soon". The detector
+// arms a timeout per expectation (the implementation the paper sketches:
+// "a simple implementation consists of setting a timeout for each message
+// reported ... when the timer times out, the corresponding nodes that
+// failed to send anticipated messages are suspected for a certain period
+// of time"). Suspicions are interval-based — they expire after
+// `suspicion_interval` — and miss counters age out, realizing the I-mute
+// semantics (Interval Local Completeness / Interval Strong Accuracy)
+// rather than the impractical hold-forever ◇P definition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "des/simulator.h"
+#include "des/timer.h"
+#include "fd/fd_types.h"
+
+namespace byzcast::fd {
+
+struct MuteFdConfig {
+  /// How long an expected header may take before the expectation fails.
+  des::SimDuration expect_timeout = des::millis(800);
+  /// Missed expectations before a node is suspected (tolerates losses).
+  int suspicion_threshold = 3;
+  /// How long a suspicion lasts once raised (the "suspicion interval").
+  des::SimDuration suspicion_interval = des::seconds(20);
+  /// Period of the aging pass that decrements miss counters.
+  des::SimDuration aging_period = des::seconds(5);
+};
+
+class MuteFd {
+ public:
+  enum class Mode : std::uint8_t { kOne, kAll };
+  /// What discharges an expectation early:
+  ///  kListedOnly — only a listed node sending the header clears it (the
+  ///    listed nodes have a *duty* to send, e.g. overlay forwarding);
+  ///  kAnySender  — any node sending the header clears it (we only wanted
+  ///    the message; the listed node is off the hook once it arrives,
+  ///    e.g. a gossiper we asked for a retransmission).
+  enum class Satisfy : std::uint8_t { kListedOnly, kAnySender };
+  using SuspectCallback = std::function<void(NodeId)>;
+
+  MuteFd(des::Simulator& sim, MuteFdConfig config);
+
+  /// Figure 2: expect(message header, set of nodes, one-or-all).
+  /// Ignores empty node sets.
+  void expect(HeaderPattern pattern, std::vector<NodeId> nodes, Mode mode,
+              Satisfy satisfy = Satisfy::kListedOnly);
+
+  /// Feed every received protocol header through here (the FD interceptor
+  /// of Figure 1). `from` is the link-layer transmitter.
+  void observe(const MessageHeader& header, NodeId from);
+
+  /// Fired the moment a node becomes suspected (edge, not level).
+  void set_on_suspect(SuspectCallback cb) { on_suspect_ = std::move(cb); }
+
+  [[nodiscard]] bool suspected(NodeId node) const;
+  [[nodiscard]] std::vector<NodeId> suspects() const;
+  [[nodiscard]] std::size_t pending_expectations() const {
+    return expectations_.size();
+  }
+
+  /// Drops all pending expectations about `node` (e.g. it left the
+  /// neighbourhood; Observation 3.4's "neighbours will not expect p").
+  void forget(NodeId node);
+
+ private:
+  struct Expectation {
+    HeaderPattern pattern;
+    std::vector<NodeId> outstanding;
+    Mode mode = Mode::kOne;
+    Satisfy satisfy = Satisfy::kListedOnly;
+    des::EventId timeout = 0;
+  };
+  using ExpectationHandle = std::list<Expectation>::iterator;
+
+  void on_timeout(ExpectationHandle handle);
+  void record_miss(NodeId node);
+  void age_counters();
+
+  des::Simulator& sim_;
+  MuteFdConfig config_;
+  std::list<Expectation> expectations_;
+  std::unordered_map<NodeId, int> miss_count_;
+  std::unordered_map<NodeId, des::SimTime> suspected_until_;
+  SuspectCallback on_suspect_;
+  des::PeriodicTimer aging_timer_;
+};
+
+}  // namespace byzcast::fd

@@ -1,0 +1,61 @@
+#include "fd/trust_fd.h"
+
+#include <algorithm>
+
+namespace byzcast::fd {
+
+const char* suspicion_reason_name(SuspicionReason reason) {
+  switch (reason) {
+    case SuspicionReason::kBadSignature:
+      return "bad-signature";
+    case SuspicionReason::kMute:
+      return "mute";
+    case SuspicionReason::kVerbose:
+      return "verbose";
+    case SuspicionReason::kProtocolViolation:
+      return "protocol-violation";
+  }
+  return "?";
+}
+
+void TrustFd::suspect(NodeId node, SuspicionReason reason) {
+  ++reason_counts_[static_cast<std::size_t>(reason)];
+  bool newly = level(node) != TrustLevel::kUntrusted;
+  untrusted_until_[node] = sim_.now() + config_.suspicion_interval;
+  if (newly && on_change_) on_change_(node, TrustLevel::kUntrusted);
+}
+
+void TrustFd::neighbor_report(NodeId reporter, NodeId about) {
+  // §3.3: "p changes r's overlay_trust to unknown, unless p already
+  // suspects either q or r".
+  if (level(reporter) == TrustLevel::kUntrusted) return;
+  if (level(about) == TrustLevel::kUntrusted) return;
+  reported_until_[about] = sim_.now() + config_.report_interval;
+}
+
+TrustLevel TrustFd::level(NodeId node) const {
+  auto direct = untrusted_until_.find(node);
+  if (direct != untrusted_until_.end() && direct->second > sim_.now()) {
+    return TrustLevel::kUntrusted;
+  }
+  auto reported = reported_until_.find(node);
+  if (reported != reported_until_.end() && reported->second > sim_.now()) {
+    return TrustLevel::kUnknown;
+  }
+  return TrustLevel::kTrusted;
+}
+
+std::vector<NodeId> TrustFd::untrusted() const {
+  std::vector<NodeId> out;
+  for (const auto& [node, until] : untrusted_until_) {
+    if (until > sim_.now()) out.push_back(node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t TrustFd::suspicion_events(SuspicionReason reason) const {
+  return reason_counts_[static_cast<std::size_t>(reason)];
+}
+
+}  // namespace byzcast::fd

@@ -1,0 +1,74 @@
+#include "fd/verbose_fd.h"
+
+#include <algorithm>
+
+namespace byzcast::fd {
+
+VerboseFd::VerboseFd(des::Simulator& sim, VerboseFdConfig config)
+    : sim_(sim),
+      config_(config),
+      aging_timer_(sim, config.aging_period, [this] { age_counters(); }) {
+  aging_timer_.start();
+}
+
+void VerboseFd::set_min_spacing(std::uint8_t type, des::SimDuration spacing) {
+  min_spacing_[type] = spacing;
+}
+
+void VerboseFd::indict(NodeId node) {
+  int count = ++indictments_[node];
+  if (count < config_.suspicion_threshold) return;
+  bool newly = !suspected(node);
+  suspected_until_[node] = sim_.now() + config_.suspicion_interval;
+  if (newly && on_suspect_) on_suspect_(node);
+}
+
+void VerboseFd::observe(const MessageHeader& header, NodeId from) {
+  auto rule = min_spacing_.find(header.type);
+  if (rule == min_spacing_.end()) return;
+  std::uint64_t key =
+      (static_cast<std::uint64_t>(from) << 8) | header.type;
+  auto [it, first_time] = last_arrival_.emplace(key, sim_.now());
+  if (!first_time) {
+    if (sim_.now() - it->second < rule->second) indict(from);
+    it->second = sim_.now();
+  }
+}
+
+void VerboseFd::age_counters() {
+  for (auto it = indictments_.begin(); it != indictments_.end();) {
+    if (--it->second <= 0) {
+      it = indictments_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = suspected_until_.begin(); it != suspected_until_.end();) {
+    if (it->second <= sim_.now()) {
+      it = suspected_until_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool VerboseFd::suspected(NodeId node) const {
+  auto it = suspected_until_.find(node);
+  return it != suspected_until_.end() && it->second > sim_.now();
+}
+
+std::vector<NodeId> VerboseFd::suspects() const {
+  std::vector<NodeId> out;
+  for (const auto& [node, until] : suspected_until_) {
+    if (until > sim_.now()) out.push_back(node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int VerboseFd::indictment_count(NodeId node) const {
+  auto it = indictments_.find(node);
+  return it == indictments_.end() ? 0 : it->second;
+}
+
+}  // namespace byzcast::fd

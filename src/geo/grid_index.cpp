@@ -1,0 +1,83 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace byzcast::geo {
+
+GridIndex::GridIndex(Area area, double cell_size)
+    : area_(area), cell_size_(cell_size) {
+  if (area.width <= 0 || area.height <= 0) {
+    throw std::invalid_argument("GridIndex: area must have positive size");
+  }
+  if (cell_size <= 0) {
+    throw std::invalid_argument("GridIndex: cell_size must be positive");
+  }
+  cols_ = static_cast<std::size_t>(std::ceil(area.width / cell_size)) + 1;
+  rows_ = static_cast<std::size_t>(std::ceil(area.height / cell_size)) + 1;
+  cells_.resize(cols_ * rows_);
+}
+
+std::size_t GridIndex::cell_of(Vec2 p) const {
+  Vec2 q = area_.clamp(p);
+  auto cx = static_cast<std::size_t>(q.x / cell_size_);
+  auto cy = static_cast<std::size_t>(q.y / cell_size_);
+  cx = std::min(cx, cols_ - 1);
+  cy = std::min(cy, rows_ - 1);
+  return cy * cols_ + cx;
+}
+
+void GridIndex::rebuild(const std::vector<Vec2>& positions) {
+  for (auto& cell : cells_) cell.clear();
+  positions_.resize(positions.size());
+  item_cell_.resize(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    positions_[i] = area_.clamp(positions[i]);
+    std::size_t c = cell_of(positions_[i]);
+    item_cell_[i] = c;
+    cells_[c].push_back(i);
+  }
+}
+
+void GridIndex::update(std::size_t item, Vec2 new_position) {
+  if (item >= positions_.size()) {
+    throw std::out_of_range("GridIndex::update: unknown item");
+  }
+  Vec2 clamped = area_.clamp(new_position);
+  std::size_t new_cell = cell_of(clamped);
+  std::size_t old_cell = item_cell_[item];
+  positions_[item] = clamped;
+  if (new_cell == old_cell) return;
+  auto& bucket = cells_[old_cell];
+  bucket.erase(std::find(bucket.begin(), bucket.end(), item));
+  cells_[new_cell].push_back(item);
+  item_cell_[item] = new_cell;
+}
+
+void GridIndex::query(Vec2 center, double radius,
+                      std::vector<std::size_t>& out) const {
+  out.clear();
+  const double r_sq = radius * radius;
+  // Cell span that can contain points within `radius` of center.
+  auto clamp_idx = [](double v, std::size_t hi) {
+    if (v < 0) return std::size_t{0};
+    auto idx = static_cast<std::size_t>(v);
+    return std::min(idx, hi);
+  };
+  std::size_t cx_lo = clamp_idx((center.x - radius) / cell_size_, cols_ - 1);
+  std::size_t cx_hi = clamp_idx((center.x + radius) / cell_size_, cols_ - 1);
+  std::size_t cy_lo = clamp_idx((center.y - radius) / cell_size_, rows_ - 1);
+  std::size_t cy_hi = clamp_idx((center.y + radius) / cell_size_, rows_ - 1);
+  for (std::size_t cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (std::size_t cx = cx_lo; cx <= cx_hi; ++cx) {
+      for (std::size_t item : cells_[cy * cols_ + cx]) {
+        if (distance_sq(positions_[item], center) <= r_sq) {
+          out.push_back(item);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace byzcast::geo

@@ -1,0 +1,50 @@
+// Uniform-grid spatial index for range queries over node positions.
+//
+// The wireless medium asks "who is within range r of point p" once per
+// transmission. With cell size == query radius, a query touches at most
+// nine cells, making the per-transmission cost proportional to the local
+// node density instead of n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/vec2.h"
+
+namespace byzcast::geo {
+
+class GridIndex {
+ public:
+  /// `area` bounds all points; `cell_size` should equal the dominant
+  /// query radius. Throws std::invalid_argument on non-positive sizes.
+  GridIndex(Area area, double cell_size);
+
+  /// Rebuilds the index from scratch: positions[i] is the position of
+  /// item i. Items outside the area are clamped into it.
+  void rebuild(const std::vector<Vec2>& positions);
+
+  /// Moves one item (after mobility updates).
+  void update(std::size_t item, Vec2 new_position);
+
+  /// Appends to `out` every item within `radius` of `center` (inclusive),
+  /// including an item located exactly at `center`. `out` is cleared.
+  void query(Vec2 center, double radius, std::vector<std::size_t>& out) const;
+
+  [[nodiscard]] std::size_t size() const { return positions_.size(); }
+  [[nodiscard]] Vec2 position(std::size_t item) const {
+    return positions_[item];
+  }
+
+ private:
+  [[nodiscard]] std::size_t cell_of(Vec2 p) const;
+
+  Area area_;
+  double cell_size_;
+  std::size_t cols_ = 0;
+  std::size_t rows_ = 0;
+  std::vector<std::vector<std::size_t>> cells_;
+  std::vector<Vec2> positions_;
+  std::vector<std::size_t> item_cell_;
+};
+
+}  // namespace byzcast::geo

@@ -1,0 +1,59 @@
+// Initial node placement generators.
+//
+// Besides the uniform-random field the paper's simulations use, we provide
+// structured topologies the analysis section reasons about: a chain (the
+// Fig-5 worst case of alternating overlay/non-overlay nodes) and a grid
+// (dense, collision-heavy). `connected_uniform` retries until the
+// transmission graph is connected, matching the paper's standing
+// assumption that correct nodes form a connected graph.
+#pragma once
+
+#include <vector>
+
+#include "des/rng.h"
+#include "geo/vec2.h"
+
+namespace byzcast::geo {
+
+/// n points uniform over the area.
+std::vector<Vec2> uniform_placement(std::size_t n, Area area, des::Rng& rng);
+
+/// Uniform placement re-drawn until the unit-disk graph with the given
+/// range is connected. Throws std::runtime_error after `max_attempts`
+/// (misconfigured density), so experiments fail loudly instead of running
+/// a partitioned network.
+std::vector<Vec2> connected_uniform_placement(std::size_t n, Area area,
+                                              double range, des::Rng& rng,
+                                              int max_attempts = 200);
+
+/// n points on a horizontal line with the given spacing, starting at
+/// (margin, area.height/2). With spacing < range < 2*spacing this is an
+/// exact multi-hop chain.
+std::vector<Vec2> chain_placement(std::size_t n, double spacing,
+                                  double margin = 1.0);
+
+/// n points on a roughly square grid filling the area.
+std::vector<Vec2> grid_placement(std::size_t n, Area area);
+
+/// Two dense clusters joined by a sparse corridor of relay nodes — the
+/// topology family where overlay *bridging* (MIS+B's raison d'etre) and
+/// the TTL-2 recovery earn their keep. `corridor_nodes` of the n points
+/// are spaced evenly between the cluster centres; the rest split evenly
+/// between two disks of radius `cluster_radius`.
+std::vector<Vec2> clustered_placement(std::size_t n, Area area,
+                                      std::size_t corridor_nodes,
+                                      double cluster_radius, des::Rng& rng);
+
+/// n points evenly on a circle of radius r centred in the area — a cycle
+/// topology (every node exactly two logical neighbours at the right
+/// range), the classic worst case for dominating-set size.
+std::vector<Vec2> ring_placement(std::size_t n, Area area, double radius);
+
+/// True when the unit-disk graph over `points` with `range` is connected.
+bool unit_disk_connected(const std::vector<Vec2>& points, double range);
+
+/// Adjacency of the unit-disk graph (i is NOT a neighbour of itself).
+std::vector<std::vector<std::size_t>> unit_disk_adjacency(
+    const std::vector<Vec2>& points, double range);
+
+}  // namespace byzcast::geo

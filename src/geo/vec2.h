@@ -1,0 +1,40 @@
+// 2-D geometry for node positions (the SWANS "field", DESIGN.md S3).
+#pragma once
+
+#include <cmath>
+
+namespace byzcast::geo {
+
+struct Vec2 {
+  double x = 0;
+  double y = 0;
+
+  friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(Vec2 a, double s) { return {a.x * s, a.y * s}; }
+  friend Vec2 operator*(double s, Vec2 a) { return a * s; }
+  friend bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y); }
+  [[nodiscard]] double norm_sq() const { return x * x + y * y; }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline double distance_sq(Vec2 a, Vec2 b) { return (a - b).norm_sq(); }
+
+/// Axis-aligned simulation area [0,width] x [0,height].
+struct Area {
+  double width = 0;
+  double height = 0;
+
+  [[nodiscard]] bool contains(Vec2 p) const {
+    return p.x >= 0 && p.x <= width && p.y >= 0 && p.y <= height;
+  }
+  /// Clamps a point into the area (used by mobility boundary handling).
+  [[nodiscard]] Vec2 clamp(Vec2 p) const {
+    return {std::fmin(std::fmax(p.x, 0.0), width),
+            std::fmin(std::fmax(p.y, 0.0), height)};
+  }
+};
+
+}  // namespace byzcast::geo

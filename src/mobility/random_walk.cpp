@@ -1,0 +1,51 @@
+#include "mobility/random_walk.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace byzcast::mobility {
+
+RandomWalk::RandomWalk(geo::Vec2 start, RandomWalkConfig config, des::Rng rng)
+    : config_(config), rng_(rng), origin_(config.area.clamp(start)) {
+  if (config_.speed_mps <= 0) {
+    throw std::invalid_argument("RandomWalk: speed must be positive");
+  }
+  if (config_.leg_duration == 0) {
+    throw std::invalid_argument("RandomWalk: leg_duration must be positive");
+  }
+  begin_leg(0);
+}
+
+void RandomWalk::begin_leg(des::SimTime now) {
+  double angle = rng_.uniform(0, 2 * std::numbers::pi);
+  velocity_ = {config_.speed_mps * std::cos(angle),
+               config_.speed_mps * std::sin(angle)};
+  depart_ = now;
+  leg_end_ = now + config_.leg_duration;
+}
+
+geo::Vec2 RandomWalk::reflect(geo::Vec2 p) const {
+  auto fold = [](double v, double limit) {
+    if (limit <= 0) return 0.0;
+    // Mirror folding: position in a path that bounces between 0 and limit
+    // equals the triangle wave of the unbounded coordinate.
+    double period = 2 * limit;
+    double m = std::fmod(v, period);
+    if (m < 0) m += period;
+    return m <= limit ? m : period - m;
+  };
+  return {fold(p.x, config_.area.width), fold(p.y, config_.area.height)};
+}
+
+geo::Vec2 RandomWalk::position_at(des::SimTime t) {
+  while (t >= leg_end_) {
+    double dt = des::to_seconds(leg_end_ - depart_);
+    origin_ = reflect(origin_ + velocity_ * dt);
+    begin_leg(leg_end_);
+  }
+  double dt = des::to_seconds(t > depart_ ? t - depart_ : 0);
+  return reflect(origin_ + velocity_ * dt);
+}
+
+}  // namespace byzcast::mobility

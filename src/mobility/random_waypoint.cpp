@@ -1,0 +1,41 @@
+#include "mobility/random_waypoint.h"
+
+#include <stdexcept>
+
+namespace byzcast::mobility {
+
+RandomWaypoint::RandomWaypoint(geo::Vec2 start, RandomWaypointConfig config,
+                               des::Rng rng)
+    : config_(config), rng_(rng), origin_(config.area.clamp(start)) {
+  if (config_.min_speed_mps <= 0 ||
+      config_.max_speed_mps < config_.min_speed_mps) {
+    throw std::invalid_argument(
+        "RandomWaypoint: require 0 < min_speed <= max_speed");
+  }
+  begin_leg(0);
+}
+
+void RandomWaypoint::begin_leg(des::SimTime now) {
+  target_ = {rng_.uniform(0, config_.area.width),
+             rng_.uniform(0, config_.area.height)};
+  double speed = rng_.uniform(config_.min_speed_mps, config_.max_speed_mps);
+  double dist = geo::distance(origin_, target_);
+  depart_ = now;
+  arrive_ = now + des::from_seconds(dist / speed);
+}
+
+geo::Vec2 RandomWaypoint::position_at(des::SimTime t) {
+  // Advance past any completed legs (loop because a long query gap can
+  // span several short legs).
+  while (t >= arrive_ + config_.pause) {
+    origin_ = target_;
+    begin_leg(arrive_ + config_.pause);
+  }
+  if (t >= arrive_) return target_;  // pausing at the waypoint
+  if (t <= depart_) return origin_;
+  double frac = static_cast<double>(t - depart_) /
+                static_cast<double>(arrive_ - depart_);
+  return origin_ + (target_ - origin_) * frac;
+}
+
+}  // namespace byzcast::mobility

@@ -1,0 +1,3 @@
+#include "mobility/static_mobility.h"
+
+// StaticMobility is header-only; this TU anchors the module in the build.

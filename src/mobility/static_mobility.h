@@ -1,0 +1,17 @@
+// Node that never moves.
+#pragma once
+
+#include "mobility/mobility_model.h"
+
+namespace byzcast::mobility {
+
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(geo::Vec2 position) : position_(position) {}
+  geo::Vec2 position_at(des::SimTime /*t*/) override { return position_; }
+
+ private:
+  geo::Vec2 position_;
+};
+
+}  // namespace byzcast::mobility

@@ -1,0 +1,85 @@
+#include "overlay/cds_overlay.h"
+
+#include <algorithm>
+
+namespace byzcast::overlay {
+
+namespace {
+
+/// Symmetric adjacency from (possibly asymmetric) beacon reports.
+bool connected(const NeighborTable& table, NodeId a, NodeId b) {
+  return table.reports_neighbor(a, b) || table.reports_neighbor(b, a);
+}
+
+/// True when every id in `targets` (excluding `covering` itself and
+/// `self`) appears in `covering`'s reported neighbour list.
+bool covers(const NeighborTable& table, NodeId self, NodeId covering,
+            const std::vector<NodeId>& targets) {
+  const NeighborTable::Entry* entry = table.find(covering);
+  if (entry == nullptr) return false;
+  for (NodeId t : targets) {
+    if (t == covering || t == self) continue;
+    if (std::find(entry->neighbors.begin(), entry->neighbors.end(), t) ==
+        entry->neighbors.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+OverlayDecision CdsOverlay::compute(const OverlayView& view,
+                                    OverlayDecision /*current*/) const {
+  const NeighborTable& table = *view.table;
+  const auto& entries = table.entries();
+  if (entries.size() < 2) return {false, false};  // leaf/isolated: never needed
+
+  // Wu-Li marking: two neighbours not connected to each other.
+  bool marked = false;
+  for (std::size_t i = 0; i < entries.size() && !marked; ++i) {
+    for (std::size_t j = i + 1; j < entries.size() && !marked; ++j) {
+      if (!connected(table, entries[i].id, entries[j].id)) marked = true;
+    }
+  }
+  if (!marked) return {false, false};
+
+  std::vector<NodeId> my_neighbors = table.neighbor_ids();
+
+  // Rule 1: one reliable active higher-id neighbour covers us alone.
+  for (const auto& q : entries) {
+    if (!q.active || q.id <= view.self || !view.reliable(q.id)) continue;
+    if (covers(table, view.self, q.id, my_neighbors)) return {false, false};
+  }
+
+  // Rule 2: two reliable active adjacent higher-id neighbours cover us
+  // jointly.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& q = entries[i];
+    if (!q.active || q.id <= view.self || !view.reliable(q.id)) continue;
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      const auto& r = entries[j];
+      if (!r.active || r.id <= view.self || !view.reliable(r.id)) continue;
+      if (!connected(table, q.id, r.id)) continue;
+      bool all_covered = true;
+      const auto* qe = table.find(q.id);
+      const auto* re = table.find(r.id);
+      if (qe == nullptr || re == nullptr) continue;
+      for (NodeId t : my_neighbors) {
+        if (t == q.id || t == r.id || t == view.self) continue;
+        bool in_q = std::find(qe->neighbors.begin(), qe->neighbors.end(), t) !=
+                    qe->neighbors.end();
+        bool in_r = std::find(re->neighbors.begin(), re->neighbors.end(), t) !=
+                    re->neighbors.end();
+        if (!in_q && !in_r) {
+          all_covered = false;
+          break;
+        }
+      }
+      if (all_covered) return {false, false};
+    }
+  }
+  return {true, true};
+}
+
+}  // namespace byzcast::overlay

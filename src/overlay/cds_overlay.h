@@ -1,0 +1,30 @@
+// Trust-aware Connected Dominating Set rule (Wu & Li marking with the
+// id-pruning rules, the scheme [21]'s CDS protocol generalizes).
+//
+// Marking: a node is in the CDS when it has two neighbours that are not
+// neighbours of each other (it lies on some shortest path).
+// Pruning (Rule 1): an active node p steps down when a single *reliable*
+// active neighbour q with a higher id covers p's whole neighbourhood.
+// Pruning (Rule 2): p steps down when two reliable, active, mutually
+// adjacent neighbours q and r, both with higher ids, jointly cover p's
+// neighbourhood.
+//
+// Both pruning rules require the covering nodes to be reliable (trusted):
+// a detected-Byzantine neighbour can never argue a correct node out of
+// the backbone — that is exactly how the overlay routes around mute nodes
+// after MUTE/TRUST flag them (Lemma 3.5 / 3.9).
+#pragma once
+
+#include "overlay/overlay.h"
+
+namespace byzcast::overlay {
+
+class CdsOverlay final : public OverlayRule {
+ public:
+  /// CDS members are always dominators (active == dominator).
+  [[nodiscard]] OverlayDecision compute(const OverlayView& view,
+                                        OverlayDecision current) const override;
+  [[nodiscard]] const char* name() const override { return "CDS"; }
+};
+
+}  // namespace byzcast::overlay

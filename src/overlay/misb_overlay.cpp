@@ -1,0 +1,92 @@
+#include "overlay/misb_overlay.h"
+
+#include <algorithm>
+
+namespace byzcast::overlay {
+
+namespace {
+
+bool in_list(const std::vector<NodeId>& list, NodeId id) {
+  return std::find(list.begin(), list.end(), id) != list.end();
+}
+
+bool connected(const NeighborTable& table, NodeId a, NodeId b) {
+  return table.reports_neighbor(a, b) || table.reports_neighbor(b, a);
+}
+
+/// True when a reliable node with id above `self` appears in both lists —
+/// a better-placed candidate for the same bridge.
+bool better_candidate_in_common(const OverlayView& view,
+                                const std::vector<NodeId>& list_a,
+                                const std::vector<NodeId>& list_b) {
+  for (NodeId x : list_a) {
+    if (x > view.self && view.reliable(x) && in_list(list_b, x)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+OverlayDecision MisBOverlay::compute(const OverlayView& view,
+                                     OverlayDecision current) const {
+  const NeighborTable& table = *view.table;
+  const auto& entries = table.entries();
+  if (entries.empty()) return {false, false};  // nobody to relay for
+
+  // --- Layer 1: dominator election (self-stabilizing MIS) ------------------
+  bool has_reliable_dominator_neighbor = false;
+  bool higher_dominator_neighbor = false;
+  bool local_max = true;
+  for (const auto& e : entries) {
+    if (!view.reliable(e.id)) continue;
+    if (e.id > view.self) local_max = false;
+    if (e.dominator) {
+      has_reliable_dominator_neighbor = true;
+      if (e.id > view.self) higher_dominator_neighbor = true;
+    }
+  }
+  bool dominator = current.dominator;
+  if (!dominator && (!has_reliable_dominator_neighbor || local_max)) {
+    dominator = true;
+  } else if (dominator && higher_dominator_neighbor && !local_max) {
+    dominator = false;
+  }
+  if (dominator) return {true, true};
+
+  // --- Layer 2: bridge election (pure function of dominator flags) ---------
+  std::vector<const NeighborTable::Entry*> dominators;
+  for (const auto& e : entries) {
+    if (e.dominator && view.reliable(e.id)) dominators.push_back(&e);
+  }
+
+  // 2-hop bridges.
+  for (std::size_t i = 0; i < dominators.size(); ++i) {
+    for (std::size_t j = i + 1; j < dominators.size(); ++j) {
+      const auto& a = *dominators[i];
+      const auto& b = *dominators[j];
+      if (connected(table, a.id, b.id)) continue;
+      if (!better_candidate_in_common(view, a.neighbors, b.neighbors)) {
+        return {true, false};
+      }
+    }
+  }
+
+  // 3-hop bridges.
+  for (const auto* a : dominators) {
+    for (const auto& q : entries) {
+      if (q.dominator || !view.reliable(q.id)) continue;
+      if (in_list(q.neighbors, a->id)) continue;  // q sees a: 2-hop case
+      for (NodeId b : q.dominator_neighbors) {
+        if (b == a->id || b == view.self) continue;
+        if (!view.reliable(b)) continue;
+        if (table.contains(b)) continue;  // we see b ourselves: 2-hop case
+        if (!better_candidate_in_common(view, a->neighbors, q.neighbors)) {
+          return {true, false};
+        }
+      }
+    }
+  }
+  return {false, false};
+}
+
+}  // namespace byzcast::overlay

@@ -1,0 +1,47 @@
+// Trust-aware Maximal Independent Set + Bridges rule ([21]'s MIS+B).
+//
+// Two decoupled layers, which is what makes the election self-stabilize:
+//
+// 1. **Dominators** — a self-stabilizing MIS over reliable nodes
+//    (Shukla-style rules with a high-id preference, realizing the paper's
+//    "a node elects itself to the overlay if it has the highest
+//    identifier among its trusted neighbors"):
+//      * promote to dominator when no reliable dominator neighbour
+//        exists, or when our id beats every reliable neighbour's
+//        (local maximum — the paper's stated goal);
+//      * demote when a reliable dominator neighbour with a higher id
+//        appears (merging adjacent dominators);
+//      * otherwise keep the current role.
+//    Promotion/demotion depends only on neighbours' *dominator* flags —
+//    never on bridge status — so dominator dynamics cannot feed back
+//    through bridges and oscillate. Under the asynchronous, phase-
+//    randomized beaconing the protocol uses (and the serial rounds the
+//    tests use), the rules reach a fixpoint that dominates every correct
+//    node.
+//
+// 2. **Bridges** — a pure function of the (stable) dominator sets:
+//      * 2-hop: dominators a, b are both our neighbours but not each
+//        other's; we elect unless a reliable higher-id common neighbour
+//        of a and b (per the dominators' own reported lists) exists.
+//      * 3-hop: dominator a is our neighbour; a non-dominator neighbour
+//        q reports a dominator b we cannot see and does not see a; we
+//        elect (forming the a-us-q-b path) unless a reliable higher-id
+//        node adjacent to both a and q exists.
+//
+// Trust integration: unreliable nodes never dominate us, never suppress
+// our election, never count as connecting infrastructure — a detected
+// Byzantine node can only *add* correct nodes to the overlay (§3.3).
+#pragma once
+
+#include "overlay/overlay.h"
+
+namespace byzcast::overlay {
+
+class MisBOverlay final : public OverlayRule {
+ public:
+  [[nodiscard]] OverlayDecision compute(const OverlayView& view,
+                                        OverlayDecision current) const override;
+  [[nodiscard]] const char* name() const override { return "MIS+B"; }
+};
+
+}  // namespace byzcast::overlay

@@ -1,0 +1,68 @@
+// Pluggable overlay election rules (paper §3.3, adapting the CDS and
+// MIS+B protocols of [21] with trust awareness).
+//
+// Overlay maintenance is fully local: "each node must decide whether it
+// considers itself an overlay node or not" from its NeighborTable (built
+// from HELLO beacons) and its TRUST levels. An OverlayRule is one pure
+// computation step — given the local view, should this node be active? —
+// invoked periodically by the owning protocol node; the fixpoint across
+// nodes is the backbone.
+//
+// Trust integration (identical for both rules):
+//  * untrusted and unknown neighbours are never *relied on* — they cannot
+//    cover us, cannot prune us out of the overlay, and are not counted as
+//    overlay neighbours;
+//  * but they still *need covering*: their presence can only add correct
+//    nodes to the overlay, matching §3.3 ("a Byzantine node can cause
+//    correct nodes to unnecessarily join the overlay, but it cannot
+//    destroy the connectivity of the overlay w.r.t. correct nodes").
+//
+// Symmetry is broken by node id — the paper replaces [21]'s forgeable
+// "goodness number" with the unforgeable identifier.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "overlay/neighbor_table.h"
+#include "util/node_id.h"
+
+namespace byzcast::overlay {
+
+/// The local view an election step sees. `reliable(q)` is true when TRUST
+/// considers q safe to rely on (level == trusted).
+struct OverlayView {
+  NodeId self = kInvalidNode;
+  const NeighborTable* table = nullptr;
+  std::function<bool(NodeId)> reliable;
+};
+
+/// A node's overlay role. `dominator` implies `active`; bridges are
+/// active without being dominators. The distinction is on the wire
+/// (HELLO) because MIS+B's self-stabilization requires the dominator
+/// election to ignore bridge status — coupling them oscillates.
+struct OverlayDecision {
+  bool active = false;
+  bool dominator = false;
+};
+
+class OverlayRule {
+ public:
+  virtual ~OverlayRule() = default;
+
+  /// One computation step: the role `view.self` should take, given its
+  /// current role (the rules are self-stabilizing state machines, not
+  /// pure functions — see misb_overlay.h).
+  [[nodiscard]] virtual OverlayDecision compute(
+      const OverlayView& view, OverlayDecision current) const = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// kNone disables the overlay entirely — nobody forwards DATA, and
+/// dissemination happens purely through the gossip/request machinery.
+/// Not a deployment mode; the ablation that isolates what the overlay
+/// buys (latency) from what the gossip layer guarantees (delivery).
+enum class OverlayKind { kCds, kMisB, kNone };
+
+}  // namespace byzcast::overlay

@@ -1,0 +1,183 @@
+#include "radio/medium.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "radio/radio.h"
+
+namespace byzcast::radio {
+
+Medium::Medium(des::Simulator& sim,
+               std::unique_ptr<PropagationModel> propagation,
+               MediumConfig config, stats::Metrics* metrics)
+    : sim_(sim),
+      propagation_(std::move(propagation)),
+      config_(config),
+      metrics_(metrics),
+      rng_(sim.split_rng()) {
+  if (!propagation_) {
+    throw std::invalid_argument("Medium: propagation model required");
+  }
+  if (config_.bitrate_bps <= 0) {
+    throw std::invalid_argument("Medium: bitrate must be positive");
+  }
+}
+
+void Medium::register_radio(Radio& radio) {
+  NodeId id = radio.id();
+  if (id >= radios_.size()) {
+    radios_.resize(id + 1, nullptr);
+    tx_busy_until_.resize(id + 1, 0);
+    tx_intervals_.resize(id + 1);
+    receptions_.resize(id + 1);
+  }
+  if (radios_[id] != nullptr) {
+    throw std::invalid_argument("Medium: node id registered twice");
+  }
+  radios_[id] = &radio;
+}
+
+des::SimDuration Medium::airtime(std::size_t wire_bytes) const {
+  double seconds = static_cast<double>(wire_bytes) * 8.0 / config_.bitrate_bps;
+  return std::max<des::SimDuration>(1, des::from_seconds(seconds));
+}
+
+geo::Vec2 Medium::position_of(NodeId id) const {
+  if (id >= radios_.size() || radios_[id] == nullptr) {
+    throw std::out_of_range("Medium::position_of: unknown node");
+  }
+  return radios_[id]->position_at(sim_.now());
+}
+
+std::vector<NodeId> Medium::neighbors_of(NodeId id, double range) const {
+  geo::Vec2 center = position_of(id);
+  std::vector<NodeId> out;
+  for (NodeId other = 0; other < radios_.size(); ++other) {
+    if (other == id || radios_[other] == nullptr) continue;
+    if (geo::distance(center, radios_[other]->position_at(sim_.now())) <=
+        range) {
+      out.push_back(other);
+    }
+  }
+  return out;
+}
+
+void Medium::prune(NodeId id, des::SimTime now) {
+  auto& rx = receptions_[id];
+  while (!rx.empty() && rx.front()->end < now) rx.pop_front();
+  auto& tx = tx_intervals_[id];
+  while (!tx.empty() && tx.front().end < now) tx.pop_front();
+}
+
+void Medium::transmit(NodeId sender, std::vector<std::uint8_t> payload) {
+  if (sender >= radios_.size() || radios_[sender] == nullptr) {
+    throw std::out_of_range("Medium::transmit: unknown sender");
+  }
+  Frame frame{sender, std::move(payload)};
+  const std::size_t wire = frame.wire_size();
+
+  des::SimTime earliest = sim_.now();
+  if (config_.tx_jitter_max > 0) {
+    earliest += rng_.next_below(config_.tx_jitter_max + 1);
+  }
+  // Half-duplex queueing: a node's transmissions are serialized.
+  des::SimTime t_start = std::max(earliest, tx_busy_until_[sender]);
+  if (config_.carrier_sense) {
+    // Defer until our whole frame fits between the transmissions already
+    // planned by nodes we can hear (the simulation knows queued
+    // transmissions; live hardware senses them as carrier — this models
+    // the ideal outcome of that contention among mutually-in-range
+    // stations; hidden terminals still collide). Loop until a slot fits.
+    const des::SimDuration air = airtime(wire);
+    geo::Vec2 my_pos = radios_[sender]->position_at(sim_.now());
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (NodeId other = 0; other < radios_.size(); ++other) {
+        if (other == sender || radios_[other] == nullptr) continue;
+        double reach = propagation_->max_range(radios_[other]->range());
+        if (geo::distance(my_pos,
+                          radios_[other]->position_at(sim_.now())) > reach) {
+          continue;
+        }
+        prune(other, sim_.now());
+        for (const Interval& tx : tx_intervals_[other]) {
+          if (tx.start < t_start + air && t_start < tx.end) {
+            t_start = tx.end + config_.carrier_sense_gap;
+            moved = true;
+          }
+        }
+      }
+    }
+    t_start = std::max(t_start, tx_busy_until_[sender]);
+  }
+  des::SimTime t_end = t_start + airtime(wire);
+  tx_busy_until_[sender] = t_end;
+  tx_intervals_[sender].push_back({t_start, t_end});
+
+  if (metrics_ != nullptr) metrics_->on_frame_sent(wire);
+
+  sim_.schedule_at(t_start, [this, frame = std::move(frame), t_start, t_end]() {
+    begin_transmission(frame, t_start, t_end);
+  });
+}
+
+void Medium::begin_transmission(Frame frame, des::SimTime t_start,
+                                des::SimTime t_end) {
+  const NodeId sender = frame.sender;
+  Radio* tx_radio = radios_[sender];
+  const geo::Vec2 tx_pos = tx_radio->position_at(t_start);
+  const double nominal = tx_radio->range();
+  const double reach = propagation_->max_range(nominal);
+
+  for (NodeId rx = 0; rx < radios_.size(); ++rx) {
+    if (rx == sender || radios_[rx] == nullptr) continue;
+    double dist = geo::distance(tx_pos, radios_[rx]->position_at(t_start));
+    if (dist > reach) continue;
+    if (!propagation_->delivered(dist, nominal, rng_) ||
+        rng_.chance(config_.base_loss_prob)) {
+      if (metrics_ != nullptr) metrics_->on_frame_dropped();
+      continue;
+    }
+    prune(rx, t_start);
+    // Half-duplex: receiver busy transmitting during any part of the
+    // frame loses it.
+    bool rx_transmitting = false;
+    for (const Interval& tx : tx_intervals_[rx]) {
+      if (tx.start < t_end && t_start < tx.end) {
+        rx_transmitting = true;
+        break;
+      }
+    }
+    if (rx_transmitting) {
+      if (metrics_ != nullptr) metrics_->on_frame_dropped();
+      continue;
+    }
+    auto reception = std::make_shared<Reception>(Reception{t_start, t_end});
+    if (config_.collisions_enabled) {
+      for (const auto& other : receptions_[rx]) {
+        if (other->start < t_end && t_start < other->end) {
+          other->corrupted = true;
+          reception->corrupted = true;
+        }
+      }
+    }
+    receptions_[rx].push_back(reception);
+    auto shared_frame = std::make_shared<Frame>(frame);
+    sim_.schedule_at(
+        t_end + config_.latency, [this, rx, reception, shared_frame]() {
+          // Each corrupted reception is counted exactly once, here.
+          if (reception->corrupted) {
+            if (metrics_ != nullptr) metrics_->on_frame_collided();
+            return;
+          }
+          if (metrics_ != nullptr) {
+            metrics_->on_frame_delivered(shared_frame->wire_size());
+          }
+          radios_[rx]->deliver(*shared_frame);
+        });
+  }
+}
+
+}  // namespace byzcast::radio

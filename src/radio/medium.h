@@ -1,0 +1,112 @@
+// The shared wireless channel (DESIGN.md S5).
+//
+// Models what matters to the broadcast protocol, per the paper's model
+// section: omni-directional transmission received within a disk (or a
+// fading band, see propagation.h), message latency, random losses, and
+// collisions — "if two nodes p and q transmit a message at the same time,
+// then ... r will not receive either message".
+//
+// Timeline of one send:
+//   transmit(t)  --jitter+queueing-->  t_start  --airtime-->  t_end
+//   deliveries fire at t_end + latency at every receiver that (a) is in
+//   range at t_start, (b) passes the propagation/loss draws, (c) was not
+//   itself transmitting during [t_start, t_end] (half-duplex), and (d) had
+//   no overlapping reception (collision).
+//
+// The random pre-transmission jitter stands in for CSMA backoff: it
+// de-synchronizes the "every neighbour re-forwards at once" bursts that
+// flooding produces, exactly the role the MAC plays in SWANS.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "des/rng.h"
+#include "des/simulator.h"
+#include "geo/vec2.h"
+#include "radio/packet.h"
+#include "radio/propagation.h"
+#include "stats/metrics.h"
+#include "util/node_id.h"
+
+namespace byzcast::radio {
+
+class Radio;
+
+struct MediumConfig {
+  double bitrate_bps = 2e6;              ///< 802.11 basic rate
+  des::SimDuration latency = des::micros(5);  ///< propagation + rx processing
+  double base_loss_prob = 0.0;           ///< iid per-receiver frame loss
+  bool collisions_enabled = true;
+  /// Random delay before each transmission (CSMA backoff stand-in). Must
+  /// be large relative to frame airtime (~1.5 ms at 2 Mb/s / 380 B) or
+  /// neighbouring re-forwards collide constantly.
+  des::SimDuration tx_jitter_max = des::micros(15000);
+  /// Carrier sense: defer a transmission while a frame is arriving at
+  /// the transmitter. Removes same-cell collisions entirely (hidden
+  /// terminals still collide), at the cost of serialized airtime. Off by
+  /// default — the jitter alone matches the paper's collision levels.
+  bool carrier_sense = false;
+  /// Gap left after a sensed-busy channel before transmitting (DIFS-ish).
+  des::SimDuration carrier_sense_gap = des::micros(50);
+};
+
+class Medium {
+ public:
+  Medium(des::Simulator& sim, std::unique_ptr<PropagationModel> propagation,
+         MediumConfig config, stats::Metrics* metrics = nullptr);
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  /// Registers a radio. Ids must be unique; the medium keeps a non-owning
+  /// pointer, so the radio must outlive the medium's last event.
+  void register_radio(Radio& radio);
+
+  /// Queues a broadcast transmission from `sender`.
+  void transmit(NodeId sender, std::vector<std::uint8_t> payload);
+
+  /// Position of a node now (samples its mobility model).
+  [[nodiscard]] geo::Vec2 position_of(NodeId id) const;
+
+  /// Ground-truth unit-disk neighbours of `id` within `range` right now.
+  /// For tests and idealized baselines only — protocol nodes must learn
+  /// neighbours from traffic like the paper's nodes do.
+  [[nodiscard]] std::vector<NodeId> neighbors_of(NodeId id,
+                                                 double range) const;
+
+  [[nodiscard]] std::size_t radio_count() const { return radios_.size(); }
+  [[nodiscard]] const MediumConfig& config() const { return config_; }
+
+ private:
+  struct Reception {
+    des::SimTime start = 0;
+    des::SimTime end = 0;
+    bool corrupted = false;
+  };
+  struct Interval {
+    des::SimTime start = 0;
+    des::SimTime end = 0;
+  };
+
+  void begin_transmission(Frame frame, des::SimTime t_start,
+                          des::SimTime t_end);
+  [[nodiscard]] des::SimDuration airtime(std::size_t wire_bytes) const;
+  void prune(NodeId id, des::SimTime now);
+
+  des::Simulator& sim_;
+  std::unique_ptr<PropagationModel> propagation_;
+  MediumConfig config_;
+  stats::Metrics* metrics_;
+  des::Rng rng_;
+
+  std::vector<Radio*> radios_;  // indexed by NodeId; nullptr = unregistered
+  std::vector<des::SimTime> tx_busy_until_;
+  std::vector<std::deque<Interval>> tx_intervals_;
+  std::vector<std::deque<std::shared_ptr<Reception>>> receptions_;
+};
+
+}  // namespace byzcast::radio

@@ -1,0 +1,3 @@
+#include "radio/packet.h"
+
+// Frame is header-only; this TU anchors the module in the build.

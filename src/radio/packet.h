@@ -1,0 +1,31 @@
+// Link-layer frame.
+//
+// The payload is an opaque byte string produced by the protocol layer
+// (core/message.h); the medium only needs its size for airtime and the
+// transmitter identity for delivery bookkeeping. `sender` is the *radio
+// hardware* identity: receivers learn who transmitted a frame (the
+// pseudo-code's "sent by p_j"), which a Byzantine node cannot spoof — but
+// everything inside the payload, including any claimed originator, is
+// attacker-controlled until a signature verifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/node_id.h"
+
+namespace byzcast::radio {
+
+/// MAC header + FCS overhead added to every frame, in bytes (802.11-like).
+inline constexpr std::size_t kFrameOverheadBytes = 34;
+
+struct Frame {
+  NodeId sender = kInvalidNode;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::size_t wire_size() const {
+    return payload.size() + kFrameOverheadBytes;
+  }
+};
+
+}  // namespace byzcast::radio

@@ -1,0 +1,52 @@
+#include "radio/propagation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace byzcast::radio {
+
+bool UnitDisk::delivered(double dist, double range, des::Rng& /*rng*/) {
+  return dist <= range;
+}
+
+LogDistanceShadowing::LogDistanceShadowing()
+    : LogDistanceShadowing(Params{}) {}
+
+LogDistanceShadowing::LogDistanceShadowing(Params params) : params_(params) {
+  if (!(params.inner_fraction > 0) ||
+      !(params.outer_fraction > params.inner_fraction)) {
+    throw std::invalid_argument(
+        "LogDistanceShadowing: require 0 < inner_fraction < outer_fraction");
+  }
+  if (params.shadowing_sigma < 0) {
+    throw std::invalid_argument(
+        "LogDistanceShadowing: shadowing_sigma must be >= 0");
+  }
+}
+
+double LogDistanceShadowing::max_range(double range) const {
+  // Shadowing can stretch the effective distance both ways; bound the
+  // query radius by the outer band edge plus 4 sigma of jitter.
+  return range * (params_.outer_fraction + 4 * params_.shadowing_sigma);
+}
+
+bool LogDistanceShadowing::delivered(double dist, double range,
+                                     des::Rng& rng) {
+  // Per-frame shadowing: jitter the effective distance. Sum of uniforms
+  // approximates a normal with the requested sigma.
+  double jitter = 0;
+  if (params_.shadowing_sigma > 0) {
+    double u = rng.uniform(-1, 1) + rng.uniform(-1, 1) + rng.uniform(-1, 1);
+    // Var(sum of 3 U(-1,1)) = 1, so u is ~N(0,1) by CLT approximation.
+    jitter = u * params_.shadowing_sigma * range;
+  }
+  double effective = dist + jitter;
+  double inner = params_.inner_fraction * range;
+  double outer = params_.outer_fraction * range;
+  if (effective <= inner) return true;
+  if (effective >= outer) return false;
+  double p = (outer - effective) / (outer - inner);
+  return rng.chance(p);
+}
+
+}  // namespace byzcast::radio

@@ -1,0 +1,65 @@
+// Reception models (the SWANS radio's path-loss component, DESIGN.md S5).
+//
+// A propagation model answers one question per (transmitter, receiver)
+// pair: given the distance and the transmitter's nominal range, does this
+// frame arrive (ignoring collisions, which the Medium handles)? Two models
+// are provided:
+//
+//  * UnitDisk — the paper's formal model (§2: reception within a disk).
+//  * LogDistanceShadowing — the "real transmission range behavior
+//    including distortions, background noise" the paper's footnote 2 says
+//    its simulations used: reception probability decays smoothly across a
+//    fading band around the nominal range, plus lognormal-ish shadowing
+//    jitter per frame.
+#pragma once
+
+#include "des/rng.h"
+
+namespace byzcast::radio {
+
+class PropagationModel {
+ public:
+  virtual ~PropagationModel() = default;
+
+  /// True when a frame crosses `dist` metres with nominal range `range`.
+  /// `rng` supplies per-frame randomness (fading).
+  virtual bool delivered(double dist, double range, des::Rng& rng) = 0;
+
+  /// Upper bound on the distance at which delivered() can return true;
+  /// the Medium uses it as its spatial-query radius.
+  [[nodiscard]] virtual double max_range(double range) const = 0;
+};
+
+/// Ideal disk: delivered iff dist <= range.
+class UnitDisk final : public PropagationModel {
+ public:
+  bool delivered(double dist, double range, des::Rng& rng) override;
+  [[nodiscard]] double max_range(double range) const override { return range; }
+};
+
+/// Smooth fading band around the nominal range.
+///
+/// P(deliver) = 1                      for dist <= inner_fraction * range
+///            = linear 1 -> 0          across the band
+///            = 0                      for dist >= outer_fraction * range
+/// with `shadowing_sigma` (in fractions of range) of per-frame jitter on
+/// the effective distance.
+class LogDistanceShadowing final : public PropagationModel {
+ public:
+  struct Params {
+    double inner_fraction = 0.8;
+    double outer_fraction = 1.2;
+    double shadowing_sigma = 0.05;
+  };
+
+  LogDistanceShadowing();
+  explicit LogDistanceShadowing(Params params);
+
+  bool delivered(double dist, double range, des::Rng& rng) override;
+  [[nodiscard]] double max_range(double range) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace byzcast::radio

@@ -1,0 +1,22 @@
+#include "radio/radio.h"
+
+#include <stdexcept>
+
+#include "radio/medium.h"
+
+namespace byzcast::radio {
+
+Radio::Radio(Medium& medium, NodeId id, mobility::MobilityModel& mobility,
+             double tx_range_m)
+    : medium_(medium), id_(id), mobility_(mobility), range_(tx_range_m) {
+  if (tx_range_m <= 0) {
+    throw std::invalid_argument("Radio: transmission range must be positive");
+  }
+  medium_.register_radio(*this);
+}
+
+void Radio::send(std::vector<std::uint8_t> payload) {
+  medium_.transmit(id_, std::move(payload));
+}
+
+}  // namespace byzcast::radio

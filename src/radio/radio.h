@@ -1,0 +1,56 @@
+// Per-node radio endpoint.
+//
+// Thin adapter between a protocol node and the Medium: `send` queues a
+// broadcast, received frames arrive on the installed handler. The radio
+// also binds the node's mobility model so the medium can sample positions.
+#pragma once
+
+#include <functional>
+
+#include "mobility/mobility_model.h"
+#include "radio/packet.h"
+#include "util/node_id.h"
+
+namespace byzcast::radio {
+
+class Medium;
+
+class Radio {
+ public:
+  using ReceiveHandler = std::function<void(const Frame&)>;
+
+  /// `mobility` must outlive the radio. Registers with the medium.
+  Radio(Medium& medium, NodeId id, mobility::MobilityModel& mobility,
+        double tx_range_m);
+
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  /// Broadcasts `payload` to the one-hop neighbourhood.
+  void send(std::vector<std::uint8_t> payload);
+
+  /// Installs the upper-layer receive callback (one consumer).
+  void set_receive_handler(ReceiveHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] double range() const { return range_; }
+  [[nodiscard]] geo::Vec2 position_at(des::SimTime t) const {
+    return mobility_.position_at(t);
+  }
+
+ private:
+  friend class Medium;
+  void deliver(const Frame& frame) {
+    if (handler_) handler_(frame);
+  }
+
+  Medium& medium_;
+  NodeId id_;
+  mobility::MobilityModel& mobility_;
+  double range_;
+  ReceiveHandler handler_;
+};
+
+}  // namespace byzcast::radio

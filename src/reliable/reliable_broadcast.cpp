@@ -1,0 +1,114 @@
+#include "reliable/reliable_broadcast.h"
+
+#include <algorithm>
+
+namespace byzcast::reliable {
+
+// ---------------------------------------------------------------------------
+// FifoReceiver
+// ---------------------------------------------------------------------------
+
+FifoReceiver::FifoReceiver(core::ByzcastNode& node, Handler handler)
+    : handler_(std::move(handler)) {
+  node.set_accept_handler(
+      [this](const core::MessageId& id, std::span<const std::uint8_t> p) {
+        on_accept(id, p);
+      });
+}
+
+void FifoReceiver::on_accept(const core::MessageId& id,
+                             std::span<const std::uint8_t> payload) {
+  PerOrigin& state = origins_[id.origin];
+  if (id.seq < state.next) return;  // stale duplicate (cannot happen with
+                                    // at-most-once accepts, but cheap)
+  if (id.seq != state.next) {
+    // Out of order: hold until the gap fills. Recovery regularly delivers
+    // s+1 before s, so this is the common path, not an edge case.
+    state.held.emplace(id.seq, std::vector<std::uint8_t>(payload.begin(),
+                                                         payload.end()));
+    return;
+  }
+  handler_(id.origin, state.next++, payload);
+  // Drain any contiguous run that was waiting behind this message.
+  auto it = state.held.find(state.next);
+  while (it != state.held.end()) {
+    handler_(id.origin, state.next++, it->second);
+    state.held.erase(it);
+    it = state.held.find(state.next);
+  }
+}
+
+std::size_t FifoReceiver::pending() const {
+  std::size_t total = 0;
+  for (const auto& [origin, state] : origins_) total += state.held.size();
+  return total;
+}
+
+std::uint32_t FifoReceiver::next_seq(NodeId origin) const {
+  auto it = origins_.find(origin);
+  return it == origins_.end() ? 0 : it->second.next;
+}
+
+// ---------------------------------------------------------------------------
+// ReliableBroadcaster
+// ---------------------------------------------------------------------------
+
+ReliableBroadcaster::ReliableBroadcaster(des::Simulator& sim,
+                                         core::ByzcastNode& node,
+                                         ReliableConfig config)
+    : sim_(sim),
+      node_(node),
+      config_(config),
+      pump_timer_(sim, config.pump_period, [this] { pump(); }) {
+  pump_timer_.start();
+}
+
+bool ReliableBroadcaster::try_submit(std::vector<std::uint8_t> payload) {
+  if (queue_.size() >= config_.max_queue) return false;
+  queue_.push_back(std::move(payload));
+  ++submitted_;
+  pump();  // opportunistic: the window may already have room
+  return true;
+}
+
+std::uint32_t ReliableBroadcaster::stable_floor() const {
+  const auto& table = node_.neighbor_table();
+  if (table.entries().empty()) {
+    // Nobody to wait for: everything we sent counts as absorbed.
+    return static_cast<std::uint32_t>(sent_);
+  }
+  std::uint32_t floor = static_cast<std::uint32_t>(sent_);
+  bool any_counted = false;
+  for (const auto& entry : table.entries()) {
+    std::uint32_t reported = table.reported_stability(entry.id, node_.id());
+    // Stall detection: a neighbour whose report never advances stops
+    // gating the window after stall_timeout.
+    auto [it, fresh] = progress_.emplace(
+        entry.id, std::make_pair(reported, sim_.now()));
+    if (!fresh) {
+      if (reported > it->second.first) {
+        it->second = {reported, sim_.now()};
+      } else if (sim_.now() - it->second.second > config_.stall_timeout &&
+                 reported < static_cast<std::uint32_t>(sent_)) {
+        continue;  // stalled: ignore for flow control
+      }
+    }
+    any_counted = true;
+    floor = std::min(floor, reported);
+  }
+  return any_counted ? floor : static_cast<std::uint32_t>(sent_);
+}
+
+std::uint32_t ReliableBroadcaster::in_flight() const {
+  return static_cast<std::uint32_t>(sent_) - stable_floor();
+}
+
+void ReliableBroadcaster::pump() {
+  while (!queue_.empty() && in_flight() < config_.window) {
+    node_.broadcast(std::move(queue_.front()));
+    queue_.pop_front();
+    ++sent_;
+  }
+}
+
+}  // namespace byzcast::reliable

@@ -1,0 +1,288 @@
+#include "sim/network_builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geo/placement.h"
+#include "mobility/random_walk.h"
+#include "mobility/random_waypoint.h"
+#include "mobility/static_mobility.h"
+
+namespace byzcast::sim {
+
+namespace {
+
+/// Byzantine flooding node: reads everything, forwards nothing. All
+/// adversary kinds collapse to this under the flooding baseline — the
+/// baseline has no recovery machinery for subtler attacks to target.
+class DroppingFloodingNode final : public baselines::FloodingNode {
+ public:
+  using FloodingNode::FloodingNode;
+
+ protected:
+  void on_packet(const FloodPacket& /*packet*/, NodeId /*from*/) override {}
+};
+
+/// Byzantine multi-overlay node: same silence, applied per overlay copy.
+class DroppingMultiOverlayNode final : public baselines::MultiOverlayNode {
+ public:
+  using MultiOverlayNode::MultiOverlayNode;
+
+ protected:
+  void on_packet(const CopyPacket& /*packet*/, NodeId /*from*/) override {}
+};
+
+std::vector<geo::Vec2> make_placement(const ScenarioConfig& config,
+                                      des::Rng& rng) {
+  switch (config.placement) {
+    case PlacementKind::kUniformConnected:
+      return geo::connected_uniform_placement(config.n, config.area,
+                                              config.tx_range, rng);
+    case PlacementKind::kGrid:
+      return geo::grid_placement(config.n, config.area);
+    case PlacementKind::kChain:
+      return geo::chain_placement(config.n, config.chain_spacing);
+    case PlacementKind::kClustered:
+      return geo::clustered_placement(config.n, config.area,
+                                      config.corridor_nodes,
+                                      config.cluster_radius, rng);
+    case PlacementKind::kRing:
+      return geo::ring_placement(config.n, config.area, config.ring_radius);
+  }
+  throw std::invalid_argument("unknown placement kind");
+}
+
+}  // namespace
+
+Network::Network(const ScenarioConfig& config)
+    : config_(config), sim_(config.seed) {
+  const std::size_t n = config.n;
+  if (n == 0) throw std::invalid_argument("Network: n must be > 0");
+  if (config.byzantine_count() >= n) {
+    throw std::invalid_argument("Network: all nodes Byzantine");
+  }
+
+  pki_ = std::make_unique<crypto::Pki>(sim_.split_rng());
+
+  // --- positions & mobility ------------------------------------------------
+  des::Rng placement_rng = sim_.split_rng();
+  std::vector<geo::Vec2> positions = make_placement(config, placement_rng);
+  // Chain placements can exceed the configured area; size the medium's
+  // world to fit either way.
+  geo::Area world = config.area;
+  for (const geo::Vec2& p : positions) {
+    world.width = std::max(world.width, p.x + 1);
+    world.height = std::max(world.height, p.y + 1);
+  }
+
+  mobility_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (config.mobility) {
+      case MobilityKind::kStatic:
+        mobility_.push_back(
+            std::make_unique<mobility::StaticMobility>(positions[i]));
+        break;
+      case MobilityKind::kRandomWaypoint: {
+        mobility::RandomWaypointConfig mc;
+        mc.area = world;
+        mc.min_speed_mps = config.min_speed_mps;
+        mc.max_speed_mps = config.max_speed_mps;
+        mc.pause = config.pause;
+        mobility_.push_back(std::make_unique<mobility::RandomWaypoint>(
+            positions[i], mc, sim_.split_rng()));
+        break;
+      }
+      case MobilityKind::kRandomWalk: {
+        mobility::RandomWalkConfig mc;
+        mc.area = world;
+        mc.speed_mps = std::max(config.max_speed_mps, 0.1);
+        mobility_.push_back(std::make_unique<mobility::RandomWalk>(
+            positions[i], mc, sim_.split_rng()));
+        break;
+      }
+    }
+  }
+
+  // --- medium & radios --------------------------------------------------------
+  std::unique_ptr<radio::PropagationModel> propagation;
+  if (config.realistic_radio) {
+    propagation = std::make_unique<radio::LogDistanceShadowing>();
+  } else {
+    propagation = std::make_unique<radio::UnitDisk>();
+  }
+  medium_ = std::make_unique<radio::Medium>(sim_, std::move(propagation),
+                                            config.medium, &metrics_);
+  radios_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    radios_.push_back(std::make_unique<radio::Radio>(
+        *medium_, static_cast<NodeId>(i), *mobility_[i], config.tx_range));
+  }
+
+  // --- adversary assignment -----------------------------------------------------
+  kinds_.assign(n, byz::AdversaryKind::kNone);
+  {
+    std::vector<NodeId> ids(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<NodeId>(i);
+    des::Rng shuffle_rng = sim_.split_rng();
+    for (std::size_t i = n - 1; i > 0; --i) {
+      std::size_t j = shuffle_rng.next_below(i + 1);
+      std::swap(ids[i], ids[j]);
+    }
+    std::size_t cursor = 0;
+    for (const auto& [kind, count] : config.adversaries) {
+      for (std::size_t c = 0; c < count; ++c) {
+        kinds_[ids[cursor++]] = kind;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (kinds_[i] == byz::AdversaryKind::kNone) {
+      correct_.push_back(static_cast<NodeId>(i));
+    } else {
+      byzantine_.push_back(static_cast<NodeId>(i));
+    }
+  }
+  metrics_.set_tracked_accepts(correct_);
+
+  std::size_t sender_count = std::max<std::size_t>(1, config.senders);
+  sender_count = std::min(sender_count, correct_.size());
+  senders_.assign(correct_.begin(),
+                  correct_.begin() + static_cast<std::ptrdiff_t>(sender_count));
+
+  // --- nodes ---------------------------------------------------------------------
+  const std::size_t targets = correct_.size() - 1;
+  switch (config.protocol) {
+    case ProtocolKind::kByzcast: {
+      byzcast_nodes_.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        auto id = static_cast<NodeId>(i);
+        crypto::Signer signer = pki_->register_node(id);
+        byzcast_nodes_[i] = byz::make_adversary(
+            kinds_[i], sim_, *radios_[i], *pki_, signer,
+            config.protocol_config, &metrics_, config.adversary_params);
+        byzcast_nodes_[i]->set_expected_targets(targets);
+        if (config.enable_trace) byzcast_nodes_[i]->set_trace(&trace_);
+        byzcast_nodes_[i]->start();
+      }
+      break;
+    }
+    case ProtocolKind::kFlooding: {
+      flooding_nodes_.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        auto id = static_cast<NodeId>(i);
+        crypto::Signer signer = pki_->register_node(id);
+        if (kinds_[i] == byz::AdversaryKind::kNone) {
+          flooding_nodes_[i] = std::make_unique<baselines::FloodingNode>(
+              sim_, *radios_[i], *pki_, signer, &metrics_);
+        } else {
+          flooding_nodes_[i] = std::make_unique<DroppingFloodingNode>(
+              sim_, *radios_[i], *pki_, signer, &metrics_);
+        }
+        flooding_nodes_[i]->set_expected_targets(targets);
+      }
+      break;
+    }
+    case ProtocolKind::kMultiOverlay: {
+      auto adjacency = geo::unit_disk_adjacency(positions, config.tx_range);
+      auto overlays = baselines::compute_disjoint_overlays(
+          adjacency, config.multi_overlay_count);
+      multi_nodes_.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        auto id = static_cast<NodeId>(i);
+        std::vector<bool> memberships(overlays.size(), false);
+        for (std::size_t k = 0; k < overlays.size(); ++k) {
+          memberships[k] = overlays[k].count(id) > 0;
+        }
+        crypto::Signer signer = pki_->register_node(id);
+        if (kinds_[i] == byz::AdversaryKind::kNone) {
+          multi_nodes_[i] = std::make_unique<baselines::MultiOverlayNode>(
+              sim_, *radios_[i], *pki_, signer, std::move(memberships),
+              &metrics_);
+        } else {
+          multi_nodes_[i] = std::make_unique<DroppingMultiOverlayNode>(
+              sim_, *radios_[i], *pki_, signer, std::move(memberships),
+              &metrics_);
+        }
+        multi_nodes_[i]->set_expected_targets(targets);
+      }
+      break;
+    }
+  }
+}
+
+core::ByzcastNode* Network::byzcast_node(NodeId node) {
+  if (node >= byzcast_nodes_.size()) return nullptr;
+  return byzcast_nodes_[node].get();
+}
+
+geo::Vec2 Network::position_of(NodeId node) const {
+  return mobility_.at(node)->position_at(sim_.now());
+}
+
+void Network::broadcast_from(NodeId node, std::vector<std::uint8_t> payload) {
+  if (kinds_.at(node) != byz::AdversaryKind::kNone) {
+    throw std::invalid_argument(
+        "broadcast_from: workload broadcasts must come from correct nodes");
+  }
+  switch (config_.protocol) {
+    case ProtocolKind::kByzcast:
+      byzcast_nodes_[node]->broadcast(std::move(payload));
+      break;
+    case ProtocolKind::kFlooding:
+      flooding_nodes_[node]->broadcast(std::move(payload));
+      break;
+    case ProtocolKind::kMultiOverlay:
+      multi_nodes_[node]->broadcast(std::move(payload));
+      break;
+  }
+}
+
+std::vector<NodeId> Network::overlay_members() const {
+  std::vector<NodeId> members;
+  for (std::size_t i = 0; i < byzcast_nodes_.size(); ++i) {
+    if (byzcast_nodes_[i] && byzcast_nodes_[i]->in_overlay()) {
+      members.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return members;
+}
+
+bool Network::correct_graph_connected() const {
+  std::vector<geo::Vec2> points;
+  points.reserve(correct_.size());
+  for (NodeId node : correct_) points.push_back(position_of(node));
+  return geo::unit_disk_connected(points, config_.tx_range);
+}
+
+bool Network::correct_overlay_connected_and_dominating() const {
+  std::vector<NodeId> members = overlay_members();
+  std::vector<NodeId> correct_members;
+  for (NodeId m : members) {
+    if (kinds_[m] == byz::AdversaryKind::kNone) correct_members.push_back(m);
+  }
+  if (correct_members.empty()) return false;
+
+  // Domination: every correct node is a member or within range of one.
+  for (NodeId node : correct_) {
+    bool covered = std::find(correct_members.begin(), correct_members.end(),
+                             node) != correct_members.end();
+    if (!covered) {
+      geo::Vec2 p = position_of(node);
+      for (NodeId m : correct_members) {
+        if (geo::distance(p, position_of(m)) <= config_.tx_range) {
+          covered = true;
+          break;
+        }
+      }
+    }
+    if (!covered) return false;
+  }
+
+  // Connectivity of the correct backbone.
+  std::vector<geo::Vec2> points;
+  points.reserve(correct_members.size());
+  for (NodeId m : correct_members) points.push_back(position_of(m));
+  return geo::unit_disk_connected(points, config_.tx_range);
+}
+
+}  // namespace byzcast::sim

@@ -1,0 +1,94 @@
+// Assembles a runnable network from a ScenarioConfig and owns every piece
+// of it: simulator, metrics, PKI, medium, mobility models, radios, nodes.
+//
+// The Network is the harness's view of the world — it also provides the
+// ground-truth graph analyses (overlay connectivity/domination) that the
+// paper's lemmas are tested against. Protocol nodes never see any of
+// this; they learn the topology from beacons like real devices.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/flooding_node.h"
+#include "baselines/multi_overlay_node.h"
+#include "byz/adversary.h"
+#include "core/byzcast_node.h"
+#include "crypto/signature.h"
+#include "des/simulator.h"
+#include "mobility/mobility_model.h"
+#include "radio/medium.h"
+#include "radio/radio.h"
+#include "sim/scenario.h"
+#include "stats/metrics.h"
+#include "trace/trace.h"
+
+namespace byzcast::sim {
+
+class Network {
+ public:
+  /// Builds and starts everything. Nodes begin beaconing at time ~0.
+  explicit Network(const ScenarioConfig& config);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] des::Simulator& simulator() { return sim_; }
+  [[nodiscard]] stats::Metrics& metrics() { return metrics_; }
+  /// Populated when config.enable_trace is set (empty otherwise).
+  [[nodiscard]] trace::TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+
+  /// Invokes the protocol-appropriate broadcast on `node` (must be
+  /// correct; broadcasting from a Byzantine node throws).
+  void broadcast_from(NodeId node, std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] std::size_t node_count() const { return kinds_.size(); }
+  [[nodiscard]] const std::vector<NodeId>& correct_nodes() const {
+    return correct_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& byzantine_nodes() const {
+    return byzantine_;
+  }
+  [[nodiscard]] byz::AdversaryKind kind_of(NodeId node) const {
+    return kinds_.at(node);
+  }
+  /// The correct originators the standard workload cycles through.
+  [[nodiscard]] const std::vector<NodeId>& senders() const { return senders_; }
+
+  /// Byzcast-protocol node access (nullptr for other protocols).
+  [[nodiscard]] core::ByzcastNode* byzcast_node(NodeId node);
+
+  /// Current positions (sampled from mobility).
+  [[nodiscard]] geo::Vec2 position_of(NodeId node) const;
+
+  // --- ground-truth backbone analyses (Lemmas 3.5 / 3.9) -------------------
+  /// Nodes currently considering themselves overlay members.
+  [[nodiscard]] std::vector<NodeId> overlay_members() const;
+  /// True when the *correct* overlay members form a connected graph and
+  /// every correct node is a member or has a member within range.
+  [[nodiscard]] bool correct_overlay_connected_and_dominating() const;
+  /// True when the unit-disk graph over all correct nodes is connected
+  /// (the paper's standing assumption).
+  [[nodiscard]] bool correct_graph_connected() const;
+
+ private:
+  ScenarioConfig config_;
+  des::Simulator sim_;
+  stats::Metrics metrics_;
+  trace::TraceRecorder trace_;
+  std::unique_ptr<crypto::Pki> pki_;
+  std::unique_ptr<radio::Medium> medium_;
+  std::vector<std::unique_ptr<mobility::MobilityModel>> mobility_;
+  std::vector<std::unique_ptr<radio::Radio>> radios_;
+
+  std::vector<std::unique_ptr<core::ByzcastNode>> byzcast_nodes_;
+  std::vector<std::unique_ptr<baselines::FloodingNode>> flooding_nodes_;
+  std::vector<std::unique_ptr<baselines::MultiOverlayNode>> multi_nodes_;
+
+  std::vector<byz::AdversaryKind> kinds_;
+  std::vector<NodeId> correct_;
+  std::vector<NodeId> byzantine_;
+  std::vector<NodeId> senders_;
+};
+
+}  // namespace byzcast::sim

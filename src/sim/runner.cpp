@@ -1,0 +1,58 @@
+#include "sim/runner.h"
+
+namespace byzcast::sim {
+
+std::vector<std::uint8_t> make_payload(std::size_t index, std::size_t bytes) {
+  std::vector<std::uint8_t> payload(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    payload[i] = static_cast<std::uint8_t>((index * 131 + i * 7) & 0xff);
+  }
+  return payload;
+}
+
+RunResult run_workload(Network& network) {
+  const ScenarioConfig& config = network.config();
+  des::Simulator& sim = network.simulator();
+
+  sim.run_until(sim.now() + config.warmup);
+
+  const auto& senders = network.senders();
+  for (std::size_t i = 0; i < config.num_broadcasts; ++i) {
+    NodeId sender = senders[i % senders.size()];
+    sim.schedule_after(
+        static_cast<des::SimDuration>(i) * config.broadcast_interval,
+        [&network, sender, i, &config] {
+          network.broadcast_from(sender,
+                                 make_payload(i, config.payload_bytes));
+        });
+  }
+  des::SimDuration workload_span =
+      static_cast<des::SimDuration>(config.num_broadcasts) *
+      config.broadcast_interval;
+  sim.run_until(sim.now() + workload_span + config.cooldown);
+
+  RunResult result;
+  result.metrics = network.metrics();
+  result.correct_count = network.correct_nodes().size();
+  result.byzantine_count = network.byzantine_nodes().size();
+  result.sim_seconds = des::to_seconds(sim.now());
+  if (config.protocol == ProtocolKind::kByzcast) {
+    std::vector<NodeId> members = network.overlay_members();
+    result.overlay_size_end = members.size();
+    for (NodeId m : members) {
+      if (network.kind_of(m) == byz::AdversaryKind::kNone) {
+        ++result.correct_overlay_size_end;
+      }
+    }
+    result.overlay_healthy_end =
+        network.correct_overlay_connected_and_dominating();
+  }
+  return result;
+}
+
+RunResult run_scenario(const ScenarioConfig& config) {
+  Network network(config);
+  return run_workload(network);
+}
+
+}  // namespace byzcast::sim

@@ -1,0 +1,36 @@
+// Standard workload driver: warmup -> periodic broadcasts round-robin
+// over the sender set -> cooldown for recovery -> summarized RunResult.
+//
+// Benches needing custom timelines (e.g. E5's mid-run fault onset probe)
+// build a Network directly and drive the simulator themselves; everything
+// here is convenience over that.
+#pragma once
+
+#include <vector>
+
+#include "sim/network_builder.h"
+
+namespace byzcast::sim {
+
+struct RunResult {
+  /// Full metrics snapshot (copyable; see stats/metrics.h for the
+  /// definitions benches print).
+  stats::Metrics metrics;
+  std::size_t overlay_size_end = 0;          ///< byzcast only
+  std::size_t correct_overlay_size_end = 0;  ///< byzcast only
+  bool overlay_healthy_end = false;  ///< Lemma 3.5 predicate at end of run
+  std::size_t correct_count = 0;
+  std::size_t byzantine_count = 0;
+  double sim_seconds = 0;  ///< simulated time consumed
+};
+
+/// Runs one scenario start to finish.
+RunResult run_scenario(const ScenarioConfig& config);
+
+/// Same, over an already-built network (lets callers pre-tamper).
+RunResult run_workload(Network& network);
+
+/// Deterministic payload for broadcast #i (size from config).
+std::vector<std::uint8_t> make_payload(std::size_t index, std::size_t bytes);
+
+}  // namespace byzcast::sim

@@ -1,0 +1,27 @@
+#include "sim/scenario.h"
+
+#include <stdexcept>
+
+namespace byzcast::sim {
+
+const char* protocol_kind_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kByzcast:
+      return "byzcast";
+    case ProtocolKind::kFlooding:
+      return "flooding";
+    case ProtocolKind::kMultiOverlay:
+      return "multi-overlay";
+  }
+  return "?";
+}
+
+ProtocolKind protocol_kind_from_name(const std::string& name) {
+  for (ProtocolKind kind : {ProtocolKind::kByzcast, ProtocolKind::kFlooding,
+                            ProtocolKind::kMultiOverlay}) {
+    if (name == protocol_kind_name(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown protocol: " + name);
+}
+
+}  // namespace byzcast::sim

@@ -1,0 +1,30 @@
+#include "stats/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace byzcast::stats {
+
+double LatencyRecorder::mean() const {
+  if (samples_.empty()) return 0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::percentile(double q) const {
+  if (samples_.empty()) return 0;
+  std::sort(samples_.begin(), samples_.end());
+  q = std::clamp(q, 0.0, 1.0);
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  if (rank > 0) --rank;
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+double LatencyRecorder::max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+}  // namespace byzcast::stats

@@ -1,0 +1,25 @@
+// Latency sample aggregation (mean / percentiles).
+#pragma once
+
+#include <vector>
+
+namespace byzcast::stats {
+
+class LatencyRecorder {
+ public:
+  void record(double seconds) { samples_.push_back(seconds); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  /// q in [0,1]; nearest-rank on the sorted samples. 0 when empty.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double max() const;
+
+ private:
+  // Sorted lazily by percentile(); kept simple because summaries run once
+  // per experiment, not in the event loop.
+  mutable std::vector<double> samples_;
+};
+
+}  // namespace byzcast::stats

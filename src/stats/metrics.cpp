@@ -1,0 +1,104 @@
+#include "stats/metrics.h"
+
+namespace byzcast::stats {
+
+const char* msg_kind_name(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kData:
+      return "DATA";
+    case MsgKind::kGossip:
+      return "GOSSIP";
+    case MsgKind::kRequestMsg:
+      return "REQUEST_MSG";
+    case MsgKind::kFindMissingMsg:
+      return "FIND_MISSING_MSG";
+    case MsgKind::kHello:
+      return "HELLO";
+    case MsgKind::kOther:
+      return "OTHER";
+  }
+  return "?";
+}
+
+void Metrics::on_frame_sent(std::size_t bytes) {
+  ++frames_sent_;
+  frame_bytes_sent_ += bytes;
+}
+void Metrics::on_frame_delivered(std::size_t /*bytes*/) { ++frames_delivered_; }
+void Metrics::on_frame_collided() { ++frames_collided_; }
+void Metrics::on_frame_dropped() { ++frames_dropped_; }
+
+void Metrics::on_packet_sent(MsgKind kind, std::size_t bytes) {
+  auto i = static_cast<std::size_t>(kind);
+  ++packet_count_[i];
+  packet_bytes_[i] += bytes;
+}
+
+std::uint64_t Metrics::packets(MsgKind kind) const {
+  return packet_count_[static_cast<std::size_t>(kind)];
+}
+std::uint64_t Metrics::packet_bytes(MsgKind kind) const {
+  return packet_bytes_[static_cast<std::size_t>(kind)];
+}
+std::uint64_t Metrics::total_packets() const {
+  std::uint64_t total = 0;
+  for (auto c : packet_count_) total += c;
+  return total;
+}
+std::uint64_t Metrics::total_packet_bytes() const {
+  std::uint64_t total = 0;
+  for (auto b : packet_bytes_) total += b;
+  return total;
+}
+
+void Metrics::on_broadcast(MessageKey key, des::SimTime when,
+                           std::size_t targets) {
+  broadcasts_[key] = BroadcastRecord{when, targets, {}};
+}
+
+void Metrics::set_tracked_accepts(std::vector<NodeId> nodes) {
+  tracked_.emplace(nodes.begin(), nodes.end());
+}
+
+void Metrics::on_accept(MessageKey key, NodeId node, des::SimTime when) {
+  if (tracked_ && tracked_->count(node) == 0) return;
+  auto it = broadcasts_.find(key);
+  if (it == broadcasts_.end()) {
+    ++unknown_accepts_;
+    return;
+  }
+  auto [pos, inserted] = it->second.accepted.emplace(node, when);
+  if (!inserted) {
+    ++duplicate_accepts_;
+    return;
+  }
+  latency_.record(des::to_seconds(when - it->second.sent_at));
+}
+
+double Metrics::delivery_ratio() const {
+  if (broadcasts_.empty()) return 0;
+  double sum = 0;
+  std::size_t counted = 0;
+  for (const auto& [key, rec] : broadcasts_) {
+    if (rec.targets == 0) continue;
+    sum += static_cast<double>(rec.accepted.size()) /
+           static_cast<double>(rec.targets);
+    ++counted;
+  }
+  return counted == 0 ? 0 : sum / static_cast<double>(counted);
+}
+
+double Metrics::full_delivery_fraction() const {
+  if (broadcasts_.empty()) return 0;
+  std::size_t full = 0;
+  std::size_t counted = 0;
+  for (const auto& [key, rec] : broadcasts_) {
+    if (rec.targets == 0) continue;
+    ++counted;
+    if (rec.accepted.size() >= rec.targets) ++full;
+  }
+  return counted == 0 ? 0
+                      : static_cast<double>(full) / static_cast<double>(counted);
+}
+
+}  // namespace byzcast::stats

@@ -1,0 +1,127 @@
+// Run-wide measurement collection (DESIGN.md S16).
+//
+// One Metrics instance per scenario run. The medium reports link-level
+// frame outcomes; protocol nodes report per-kind packet sends and message
+// accepts; the runner queries summaries. Everything a bench prints flows
+// through here, so metric definitions live in exactly one place:
+//
+//  * packets(kind)       — protocol packets handed to the radio, i.e. the
+//                          paper's "number of messages sent".
+//  * delivery_ratio      — mean over broadcasts of the fraction of tracked
+//                          (correct) nodes, excluding the originator, that
+//                          accepted the message.
+//  * latency             — accept time minus broadcast time, per (message,
+//                          accepting node) pair, seconds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "des/time.h"
+#include "stats/latency_recorder.h"
+#include "util/node_id.h"
+
+namespace byzcast::stats {
+
+/// Protocol packet kinds, matching the paper's message types.
+enum class MsgKind : std::uint8_t {
+  kData = 0,
+  kGossip,
+  kRequestMsg,
+  kFindMissingMsg,
+  kHello,
+  kOther,
+};
+inline constexpr std::size_t kMsgKindCount = 6;
+const char* msg_kind_name(MsgKind kind);
+
+/// Key for one application broadcast: (originator, sequence number).
+struct MessageKey {
+  NodeId origin = kInvalidNode;
+  std::uint32_t seq = 0;
+  auto operator<=>(const MessageKey&) const = default;
+};
+
+class Metrics {
+ public:
+  // --- link level (reported by the Medium) -------------------------------
+  void on_frame_sent(std::size_t bytes);
+  void on_frame_delivered(std::size_t bytes);
+  void on_frame_collided();
+  void on_frame_dropped();
+
+  // --- protocol level (reported by nodes) --------------------------------
+  void on_packet_sent(MsgKind kind, std::size_t bytes);
+  /// A correct node called broadcast(). `targets` is how many tracked
+  /// nodes should eventually accept (correct nodes minus the originator).
+  void on_broadcast(MessageKey key, des::SimTime when, std::size_t targets);
+  void on_accept(MessageKey key, NodeId node, des::SimTime when);
+
+  /// Restricts accept accounting to these nodes (the correct ones).
+  /// Byzantine nodes run near-honest code paths and would otherwise
+  /// inflate delivery counts. Unset = count everyone.
+  void set_tracked_accepts(std::vector<NodeId> nodes);
+
+  // --- summaries ----------------------------------------------------------
+  [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
+  [[nodiscard]] std::uint64_t frames_delivered() const {
+    return frames_delivered_;
+  }
+  [[nodiscard]] std::uint64_t frames_collided() const {
+    return frames_collided_;
+  }
+  [[nodiscard]] std::uint64_t frames_dropped() const { return frames_dropped_; }
+
+  [[nodiscard]] std::uint64_t packets(MsgKind kind) const;
+  [[nodiscard]] std::uint64_t packet_bytes(MsgKind kind) const;
+  [[nodiscard]] std::uint64_t total_packets() const;
+  [[nodiscard]] std::uint64_t total_packet_bytes() const;
+
+  [[nodiscard]] std::size_t broadcasts() const { return broadcasts_.size(); }
+  /// Mean fraction of targets that accepted, over all broadcasts.
+  [[nodiscard]] double delivery_ratio() const;
+  /// Fraction of broadcasts accepted by every target.
+  [[nodiscard]] double full_delivery_fraction() const;
+  /// Accept latencies (seconds) across all broadcasts.
+  [[nodiscard]] const LatencyRecorder& latency() const { return latency_; }
+  /// Count of duplicate accept reports — must stay 0 (validity property).
+  [[nodiscard]] std::uint64_t duplicate_accepts() const {
+    return duplicate_accepts_;
+  }
+  /// Accepts for keys never announced via on_broadcast — forged or
+  /// spurious; must stay 0 for correct-originator-only workloads.
+  [[nodiscard]] std::uint64_t unknown_accepts() const {
+    return unknown_accepts_;
+  }
+
+  /// Per-broadcast accepted-node sets (for fine-grained assertions).
+  struct BroadcastRecord {
+    des::SimTime sent_at = 0;
+    std::size_t targets = 0;
+    std::map<NodeId, des::SimTime> accepted;
+  };
+  [[nodiscard]] const std::map<MessageKey, BroadcastRecord>& records() const {
+    return broadcasts_;
+  }
+
+ private:
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_collided_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frame_bytes_sent_ = 0;
+
+  std::uint64_t packet_count_[kMsgKindCount] = {};
+  std::uint64_t packet_bytes_[kMsgKindCount] = {};
+
+  std::map<MessageKey, BroadcastRecord> broadcasts_;
+  std::optional<std::set<NodeId>> tracked_;
+  LatencyRecorder latency_;
+  std::uint64_t duplicate_accepts_ = 0;
+  std::uint64_t unknown_accepts_ = 0;
+};
+
+}  // namespace byzcast::stats

@@ -1,0 +1,119 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace byzcast::trace {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBroadcast:
+      return "broadcast";
+    case EventKind::kAccept:
+      return "accept";
+    case EventKind::kForward:
+      return "forward";
+    case EventKind::kGossipRelay:
+      return "gossip-relay";
+    case EventKind::kRequestSent:
+      return "request";
+    case EventKind::kFindIssued:
+      return "find";
+    case EventKind::kRetransmission:
+      return "retransmission";
+    case EventKind::kSuspect:
+      return "suspect";
+    case EventKind::kOverlayJoin:
+      return "overlay-join";
+    case EventKind::kOverlayLeave:
+      return "overlay-leave";
+    case EventKind::kBadSignature:
+      return "bad-signature";
+  }
+  return "?";
+}
+
+std::size_t TraceRecorder::count(EventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const Event& e) { return e.kind == kind; }));
+}
+
+std::size_t TraceRecorder::count(EventKind kind, NodeId node) const {
+  return static_cast<std::size_t>(std::count_if(
+      events_.begin(), events_.end(),
+      [&](const Event& e) { return e.kind == kind && e.node == node; }));
+}
+
+const Event* TraceRecorder::first_where(
+    const std::function<bool(const Event&)>& pred) const {
+  for (const Event& e : events_) {
+    if (pred(e)) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<Event> TraceRecorder::where(
+    const std::function<bool(const Event&)>& pred) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (pred(e)) out.push_back(e);
+  }
+  return out;
+}
+
+bool TraceRecorder::first_time(EventKind kind, des::SimTime& at) const {
+  const Event* e =
+      first_where([kind](const Event& ev) { return ev.kind == kind; });
+  if (e == nullptr) return false;
+  at = e->at;
+  return true;
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "t_us,kind,node,peer,origin,seq,a\n";
+  for (const Event& e : events_) {
+    os << e.at << ',' << event_kind_name(e.kind) << ',' << e.node << ','
+       << e.peer << ',' << e.origin << ',' << e.seq << ',' << e.a << '\n';
+  }
+}
+
+void TraceRecorder::write_jsonl(std::ostream& os) const {
+  for (const Event& e : events_) {
+    os << "{\"t_us\":" << e.at << ",\"kind\":\"" << event_kind_name(e.kind)
+       << "\",\"node\":" << e.node << ",\"peer\":" << e.peer
+       << ",\"origin\":" << e.origin << ",\"seq\":" << e.seq << ",\"a\":" << e.a
+       << "}\n";
+  }
+}
+
+void TraceRecorder::write_text(std::ostream& os) const {
+  char buf[160];
+  for (const Event& e : events_) {
+    std::snprintf(buf, sizeof buf, "[%10.6fs] node %-3u %-14s",
+                  des::to_seconds(e.at), e.node, event_kind_name(e.kind));
+    os << buf;
+    switch (e.kind) {
+      case EventKind::kBroadcast:
+      case EventKind::kAccept:
+      case EventKind::kForward:
+      case EventKind::kGossipRelay:
+      case EventKind::kRetransmission:
+        os << " msg (" << e.origin << ',' << e.seq << ')';
+        break;
+      case EventKind::kRequestSent:
+      case EventKind::kFindIssued:
+        os << " msg (" << e.origin << ',' << e.seq << ") via peer " << e.peer;
+        break;
+      case EventKind::kSuspect:
+      case EventKind::kBadSignature:
+        os << " peer " << e.peer;
+        break;
+      case EventKind::kOverlayJoin:
+      case EventKind::kOverlayLeave:
+        break;
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace byzcast::trace

@@ -1,0 +1,86 @@
+// Structured protocol event traces (DESIGN.md S18 extension).
+//
+// A TraceRecorder collects typed events from every node in a run —
+// broadcasts, accepts, suspicions, overlay role changes, recovery
+// actions — in simulation order. Unlike Metrics (aggregates for the
+// benches), traces answer *sequence* questions: "when did node 7 first
+// suspect node 3, and which broadcast triggered it?" Tests use the query
+// API; the trace_timeline example renders a run as a readable log; CSV
+// and JSONL writers feed external tooling.
+//
+// Recording is allocation-light (one POD per event) so it can stay on in
+// every test; benches leave it off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+#include "des/time.h"
+#include "util/node_id.h"
+
+namespace byzcast::trace {
+
+enum class EventKind : std::uint8_t {
+  kBroadcast = 0,    ///< node originated (origin, seq)
+  kAccept,           ///< node accepted (origin, seq)
+  kForward,          ///< overlay forward of (origin, seq)
+  kGossipRelay,      ///< node started lazycasting (origin, seq)
+  kRequestSent,      ///< node asked peer for (origin, seq)
+  kFindIssued,       ///< overlay node issued a 2-hop search
+  kRetransmission,   ///< node answered a request for (origin, seq)
+  kSuspect,          ///< node's TRUST turned peer untrusted (a = reason)
+  kOverlayJoin,      ///< node became active
+  kOverlayLeave,     ///< node became passive
+  kBadSignature,     ///< node rejected a packet from peer
+};
+inline constexpr std::size_t kEventKindCount = 11;
+
+const char* event_kind_name(EventKind kind);
+
+/// One protocol event. `peer`, `origin`, `seq` and `a` are kind-specific
+/// (unused fields are zero/kInvalidNode); see the enum comments.
+struct Event {
+  des::SimTime at = 0;
+  EventKind kind = EventKind::kBroadcast;
+  NodeId node = kInvalidNode;
+  NodeId peer = kInvalidNode;
+  NodeId origin = kInvalidNode;
+  std::uint32_t seq = 0;
+  std::uint64_t a = 0;
+};
+
+class TraceRecorder {
+ public:
+  void record(const Event& event) { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  // --- queries --------------------------------------------------------------
+  [[nodiscard]] std::size_t count(EventKind kind) const;
+  [[nodiscard]] std::size_t count(EventKind kind, NodeId node) const;
+  /// First event matching `pred`, or nullptr.
+  [[nodiscard]] const Event* first_where(
+      const std::function<bool(const Event&)>& pred) const;
+  /// All events matching `pred`, in order.
+  [[nodiscard]] std::vector<Event> where(
+      const std::function<bool(const Event&)>& pred) const;
+  /// Time of the first event of `kind`, or nullopt-ish: returns true and
+  /// sets `at` when found.
+  [[nodiscard]] bool first_time(EventKind kind, des::SimTime& at) const;
+
+  // --- export ---------------------------------------------------------------
+  void write_csv(std::ostream& os) const;
+  void write_jsonl(std::ostream& os) const;
+  /// Human-readable one-line-per-event log.
+  void write_text(std::ostream& os) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace byzcast::trace

@@ -1,0 +1,50 @@
+#include "util/bytes.h"
+
+namespace byzcast::util {
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::vector<std::uint8_t> ByteReader::bytes() {
+  std::uint32_t n = u32();
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str() {
+  std::uint32_t n = u32();
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return {};
+  }
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+std::vector<std::uint8_t> to_bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+std::string to_string(std::span<const std::uint8_t> b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+}  // namespace byzcast::util

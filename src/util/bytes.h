@@ -1,0 +1,108 @@
+// Bounded little-endian byte serialization used for every on-air packet.
+//
+// ByteWriter appends primitive values to a growable buffer; ByteReader
+// consumes them with bounds checking. A reader never throws on malformed
+// input: it latches an error flag and returns zero values, because
+// malformed packets are *protocol data* sent by (possibly Byzantine)
+// peers, not programmer errors. Callers must check `ok()` before trusting
+// anything that was read.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace byzcast::util {
+
+/// Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  /// Length-prefixed (u32) byte string.
+  void bytes(std::span<const std::uint8_t> data);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+  /// Raw bytes, no length prefix (layout is the caller's contract).
+  void raw(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian decoder over a non-owning view.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return read_le<std::uint8_t>(); }
+  std::uint16_t u16() { return read_le<std::uint16_t>(); }
+  std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  /// Reads a u32 length prefix then that many bytes. Empty on error.
+  std::vector<std::uint8_t> bytes();
+  /// Reads a u32 length prefix then that many bytes as a string.
+  std::string str();
+
+  /// True while every read so far stayed in bounds.
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// True when the whole buffer was consumed without error.
+  [[nodiscard]] bool done() const { return ok_ && pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const {
+    return ok_ ? data_.size() - pos_ : 0;
+  }
+
+ private:
+  template <typename T>
+  T read_le() {
+    if (!ok_ || data_.size() - pos_ < sizeof(T)) {
+      ok_ = false;
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Convenience: bytes of a string literal / std::string.
+std::vector<std::uint8_t> to_bytes(std::string_view s);
+/// Convenience: interpret bytes as text (for demo payloads).
+std::string to_string(std::span<const std::uint8_t> b);
+
+}  // namespace byzcast::util

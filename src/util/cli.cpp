@@ -1,0 +1,84 @@
+#include "util/cli.h"
+
+#include <stdexcept>
+
+namespace byzcast::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --flag, got: " + arg);
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  queried_.insert(name);
+  return values_.count(name) > 0;
+}
+
+std::string CliArgs::get_str(const std::string& name,
+                             const std::string& def) const {
+  queried_.insert(name);
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t def) const {
+  queried_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + " expects an integer, got: " +
+                                it->second);
+  }
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  queried_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + " expects a number, got: " +
+                                it->second);
+  }
+}
+
+bool CliArgs::get_bool(const std::string& name, bool def) const {
+  queried_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw std::invalid_argument("--" + name + " expects true/false, got: " +
+                              it->second);
+}
+
+void CliArgs::reject_unknown() const {
+  std::string unknown;
+  for (const auto& [k, v] : values_) {
+    if (queried_.count(k) == 0) {
+      unknown += (unknown.empty() ? "" : ", ") + ("--" + k);
+    }
+  }
+  if (!unknown.empty()) {
+    throw std::invalid_argument("unknown flag(s): " + unknown);
+  }
+}
+
+}  // namespace byzcast::util

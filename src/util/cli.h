@@ -1,0 +1,37 @@
+// Tiny `--flag=value` command-line parser for benches and examples.
+//
+// Deliberately small: flags are `--name=value` or `--name value`; bare
+// `--name` is a boolean true. Unknown flags throw so typos in experiment
+// sweeps fail loudly instead of silently running the default scenario.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace byzcast::util {
+
+class CliArgs {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_str(const std::string& name,
+                                    const std::string& def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+  /// Throws std::invalid_argument listing any flag never queried via the
+  /// getters above. Call after all gets.
+  void reject_unknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> queried_;
+};
+
+}  // namespace byzcast::util

@@ -1,0 +1,43 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace byzcast::util {
+
+LogLevel Log::level_ = LogLevel::kOff;
+std::function<std::uint64_t()> Log::clock_;
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::write(LogLevel level, const std::string& component,
+                const std::string& message) {
+  if (clock_) {
+    std::uint64_t us = clock_();
+    std::fprintf(stderr, "[%10.6fs] %s %-10s %s\n",
+                 static_cast<double>(us) / 1e6, level_name(level),
+                 component.c_str(), message.c_str());
+  } else {
+    std::fprintf(stderr, "%s %-10s %s\n", level_name(level), component.c_str(),
+                 message.c_str());
+  }
+}
+
+}  // namespace byzcast::util

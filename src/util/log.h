@@ -1,0 +1,73 @@
+// Minimal leveled logger for simulator traces.
+//
+// Logging is process-global but write-once-configured: benches silence it,
+// examples turn on Info to narrate what the protocol does. Log lines carry
+// the simulated time when a Simulator clock source is installed, which is
+// what makes example output readable as an event timeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace byzcast::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration. Not thread-safe by design: the simulator is
+/// single-threaded (DESIGN.md §6) and configuration happens before a run.
+class Log {
+ public:
+  static void set_level(LogLevel level) { level_ = level; }
+  static LogLevel level() { return level_; }
+  /// Install a simulated-time source (microseconds); nullptr restores
+  /// wall-clock-free output.
+  static void set_clock(std::function<std::uint64_t()> now) {
+    clock_ = std::move(now);
+  }
+  static bool enabled(LogLevel level) { return level >= level_; }
+  static void write(LogLevel level, const std::string& component,
+                    const std::string& message);
+
+ private:
+  static LogLevel level_;
+  static std::function<std::uint64_t()> clock_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { Log::write(level_, component_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace byzcast::util
+
+#define BYZCAST_LOG(level, component)                         \
+  if (!::byzcast::util::Log::enabled(level)) {                \
+  } else                                                      \
+    ::byzcast::util::detail::LogLine(level, component)
+
+#define BYZCAST_TRACE(component) \
+  BYZCAST_LOG(::byzcast::util::LogLevel::kTrace, component)
+#define BYZCAST_DEBUG(component) \
+  BYZCAST_LOG(::byzcast::util::LogLevel::kDebug, component)
+#define BYZCAST_INFO(component) \
+  BYZCAST_LOG(::byzcast::util::LogLevel::kInfo, component)
+#define BYZCAST_WARN(component) \
+  BYZCAST_LOG(::byzcast::util::LogLevel::kWarn, component)
+#define BYZCAST_ERROR(component) \
+  BYZCAST_LOG(::byzcast::util::LogLevel::kError, component)

@@ -1,0 +1,18 @@
+// Node identity.
+//
+// Ids are dense 0..n-1 within a scenario. The paper assumes ids are
+// unforgeable (they replace the "goodness number" for overlay election),
+// which our signature layer enforces: every protocol message is signed and
+// verified against the claimed id.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace byzcast {
+
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace byzcast

@@ -1,0 +1,46 @@
+// Aligned text tables + CSV for benchmark output.
+//
+// Every bench binary prints the series a paper figure/table plots. The
+// Table class renders one such series both as an aligned console table
+// (human inspection) and as CSV (plotting); EXPERIMENTS.md references the
+// column names printed here.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace byzcast::util {
+
+/// One table cell: text, integer or double (formatted with 3 decimals,
+/// trailing zeros trimmed).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Appends one row; must have exactly as many cells as columns.
+  void add_row(std::vector<Cell> row);
+
+  /// Renders an aligned console table with a header separator.
+  void print(std::ostream& os) const;
+  /// Renders RFC-4180-ish CSV (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Formats a Cell for display.
+std::string format_cell(const Cell& cell);
+
+}  // namespace byzcast::util

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "analysis/graph_stats.h"
+#include "geo/placement.h"
+#include "sim/runner.h"
+
+namespace byzcast::analysis {
+namespace {
+
+Adjacency chain(std::size_t n) {
+  Adjacency adj(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    adj[i].push_back(i + 1);
+    adj[i + 1].push_back(i);
+  }
+  return adj;
+}
+
+TEST(GraphStats, DegreeStats) {
+  Adjacency adj = chain(4);  // degrees 1,2,2,1
+  DegreeStats stats = degree_stats(adj);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean, 1.5);
+  EXPECT_DOUBLE_EQ(degree_stats({}).mean, 0.0);
+}
+
+TEST(GraphStats, HopDistancesAndDiameter) {
+  Adjacency adj = chain(5);
+  auto dist = hop_distances(adj, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_EQ(hop_diameter(adj), 4u);
+  EXPECT_EQ(hop_diameter(chain(1)), 0u);
+
+  Adjacency disconnected(3);  // no edges
+  EXPECT_EQ(hop_diameter(disconnected),
+            std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(hop_distances(disconnected, 0)[2],
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST(GraphStats, ComponentCount) {
+  EXPECT_EQ(component_count({}), 0u);
+  EXPECT_EQ(component_count(chain(5)), 1u);
+  Adjacency two(4);
+  two[0].push_back(1);
+  two[1].push_back(0);
+  EXPECT_EQ(component_count(two), 3u);  // {0,1}, {2}, {3}
+}
+
+TEST(GraphStats, OverlayReportOnChain) {
+  Adjacency adj = chain(5);
+  // Interior nodes as backbone: dominating, connected, stretch 1.
+  OverlayReport good = evaluate_overlay(adj, {1, 2, 3});
+  EXPECT_EQ(good.backbone_size, 3u);
+  EXPECT_TRUE(good.dominating);
+  EXPECT_TRUE(good.backbone_connected);
+  EXPECT_DOUBLE_EQ(good.mean_stretch, 1.0);
+
+  // Missing the middle: not connected (and node 0/4 coverage aside).
+  OverlayReport broken = evaluate_overlay(adj, {1, 3});
+  EXPECT_FALSE(broken.backbone_connected);
+
+  // Empty backbone on a multi-node chain dominates nothing.
+  OverlayReport none = evaluate_overlay(adj, {});
+  EXPECT_FALSE(none.dominating);
+}
+
+TEST(GraphStats, StretchDetectsDetours) {
+  // Square 0-1-2-3-0 plus diagonal 0-2. Backbone {1} forces 0->2 traffic
+  // through node 1? No: 0 transmits directly to 2 (source forwards).
+  // Instead check 3->1: direct 3-0-1 or 3-2-1 (2 hops); with backbone {0}
+  // route 3 -> 0 -> 1 works (2 hops, 0 forwards), but 3 -> 2 -> 1 is
+  // unusable (2 not in backbone). Build a case with real stretch:
+  // chain 0-1-2 plus edge 0-3, 3-2 (alternate path through 3).
+  Adjacency adj(4);
+  auto link = [&](std::size_t a, std::size_t b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  link(0, 1);
+  link(1, 2);
+  link(0, 3);
+  link(3, 2);
+  // Backbone {3}: 0->2 direct shortest is 2 hops (via 1 or 3); via the
+  // backbone it is 0-3-2, also 2 hops => stretch 1. But 1->3: shortest
+  // 1-0-3 = 2; via backbone: 1's frame reaches 0 and 2 (one hop,
+  // non-forwarding)... neither forwards; 3 unreachable except... 1
+  // transmits (source) reaching 0,2; 0 not backbone: stops; so only
+  // backbone member 3 forwards but never got it => unusable, report
+  // returns early with stretch 0.
+  OverlayReport r = evaluate_overlay(adj, {3});
+  // 1's neighbours are {0,2}: 3 does not dominate 1.
+  EXPECT_FALSE(r.dominating);
+
+  // Backbone {0, 2}: 0-2 not adjacent => backbone disconnected.
+  OverlayReport r2 = evaluate_overlay(adj, {0, 2});
+  EXPECT_FALSE(r2.backbone_connected);
+
+  // Backbone {1, 0, 3}: connected, dominating; 2->? all shortest paths
+  // available => stretch 1.
+  OverlayReport r3 = evaluate_overlay(adj, {0, 1, 3});
+  EXPECT_TRUE(r3.dominating);
+  EXPECT_TRUE(r3.backbone_connected);
+  EXPECT_GE(r3.mean_stretch, 1.0);
+}
+
+TEST(GraphStats, LiveOverlayFromScenarioIsHighQuality) {
+  sim::ScenarioConfig config;
+  config.seed = 3;
+  config.n = 40;
+  config.area = {500, 500};
+  config.tx_range = 140;
+  sim::Network network(config);
+  network.simulator().run_until(des::seconds(8));
+
+  // Ground-truth adjacency at the current (static) positions.
+  std::vector<geo::Vec2> points;
+  for (NodeId id = 0; id < network.node_count(); ++id) {
+    points.push_back(network.position_of(id));
+  }
+  Adjacency adj = geo::unit_disk_adjacency(points, config.tx_range);
+
+  OverlayReport report = evaluate_overlay(adj, network.overlay_members());
+  EXPECT_TRUE(report.dominating);
+  EXPECT_TRUE(report.backbone_connected);
+  EXPECT_LT(report.backbone_size, config.n);
+  // Id-based Wu-Li backbones cost little path stretch.
+  EXPECT_GE(report.mean_stretch, 1.0);
+  EXPECT_LT(report.mean_stretch, 1.5);
+}
+
+}  // namespace
+}  // namespace byzcast::analysis

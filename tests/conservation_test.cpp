@@ -1,0 +1,134 @@
+// Cross-cutting conservation and consistency properties, swept over seeds
+// (TEST_P): accounting identities that must hold no matter what the
+// protocol, channel or adversaries did.
+#include <gtest/gtest.h>
+
+#include "reliable/reliable_broadcast.h"
+#include "sim/runner.h"
+
+namespace byzcast {
+namespace {
+
+class ConservationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConservationSweep, FrameAndPacketAccountingConsistent) {
+  sim::ScenarioConfig config;
+  config.seed = GetParam();
+  config.n = 30;
+  config.area = {450, 450};
+  config.tx_range = 140;
+  config.adversaries = {{byz::AdversaryKind::kMute, 3},
+                        {byz::AdversaryKind::kLiar, 2}};
+  config.num_broadcasts = 8;
+  sim::Network network(config);
+  sim::RunResult result = sim::run_workload(network);
+  const stats::Metrics& m = result.metrics;
+
+  // Every frame on the air was sent by someone.
+  EXPECT_GT(m.frames_sent(), 0u);
+  // A frame reaches at most n-1 receivers; deliveries + collisions +
+  // drops cannot exceed that possibility space.
+  EXPECT_LE(m.frames_delivered() + m.frames_collided() + m.frames_dropped(),
+            m.frames_sent() * (config.n - 1));
+  // Protocol packets and link frames are the same events counted at two
+  // layers (byzcast never fragments).
+  EXPECT_EQ(m.total_packets(), m.frames_sent());
+  // Byte accounting: the wire adds per-frame overhead on top of payload.
+  EXPECT_GT(m.total_packet_bytes(), 0u);
+
+  // Accept accounting: every accept belongs to a real broadcast, no
+  // duplicates, latencies all non-negative (recorded count matches).
+  EXPECT_EQ(m.unknown_accepts(), 0u);
+  EXPECT_EQ(m.duplicate_accepts(), 0u);
+  std::size_t accepts = 0;
+  for (const auto& [key, rec] : m.records()) {
+    accepts += rec.accepted.size();
+    for (const auto& [node, at] : rec.accepted) {
+      EXPECT_GE(at, rec.sent_at);
+    }
+  }
+  EXPECT_EQ(m.latency().count(), accepts);
+}
+
+TEST_P(ConservationSweep, StoreNeverExceedsAcceptedUniverse) {
+  sim::ScenarioConfig config;
+  config.seed = GetParam() + 100;
+  config.n = 25;
+  config.area = {400, 400};
+  config.tx_range = 140;
+  config.num_broadcasts = 10;
+  sim::Network network(config);
+  sim::RunResult result = sim::run_workload(network);
+  ASSERT_DOUBLE_EQ(result.metrics.delivery_ratio(), 1.0);
+  for (NodeId id : network.correct_nodes()) {
+    const core::MessageStore& store = network.byzcast_node(id)->store();
+    // A correct node can never buffer more than was ever broadcast.
+    EXPECT_LE(store.size(), config.num_broadcasts);
+    EXPECT_LE(store.accepted_count(), config.num_broadcasts);
+    // Stability prefix never runs past what exists.
+    EXPECT_LE(store.stability_prefix(network.senders()[0]),
+              config.num_broadcasts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationSweep,
+                         ::testing::Values(41u, 42u, 43u, 44u, 45u));
+
+// ---------------------------------------------------------------------------
+// Reliable-layer property sweep: FIFO order and completeness over a lossy
+// channel, across seeds.
+// ---------------------------------------------------------------------------
+
+class ReliableSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReliableSweep, FifoCompleteAndOrderedOverLossyChannel) {
+  sim::ScenarioConfig config;
+  config.seed = GetParam();
+  config.n = 20;
+  config.area = {350, 350};
+  config.tx_range = 140;
+  config.medium.base_loss_prob = 0.1;
+  sim::Network network(config);
+  des::Simulator& sim = network.simulator();
+
+  NodeId sender_id = network.senders()[0];
+  reliable::ReliableConfig rc;
+  rc.window = 4;
+  reliable::ReliableBroadcaster sender(
+      sim, *network.byzcast_node(sender_id), rc);
+
+  std::map<NodeId, std::vector<std::uint32_t>> delivered;
+  std::vector<std::unique_ptr<reliable::FifoReceiver>> receivers;
+  for (NodeId id : network.correct_nodes()) {
+    if (id == sender_id) continue;
+    receivers.push_back(std::make_unique<reliable::FifoReceiver>(
+        *network.byzcast_node(id),
+        [&delivered, id](NodeId, std::uint32_t seq,
+                         std::span<const std::uint8_t>) {
+          delivered[id].push_back(seq);
+        }));
+  }
+
+  sim.run_until(des::seconds(5));
+  constexpr std::uint32_t kMessages = 15;
+  for (std::uint32_t i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(sender.try_submit(sim::make_payload(i, 64)));
+    sim.run_until(sim.now() + des::millis(150));
+  }
+  sim.run_until(sim.now() + des::seconds(30));
+
+  for (NodeId id : network.correct_nodes()) {
+    if (id == sender_id) continue;
+    const auto& seqs = delivered[id];
+    ASSERT_EQ(seqs.size(), kMessages) << "node " << id << " incomplete";
+    for (std::uint32_t i = 0; i < kMessages; ++i) {
+      ASSERT_EQ(seqs[i], i) << "node " << id << " out of order";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReliableSweep,
+                         ::testing::Values(51u, 52u, 53u, 54u));
+
+}  // namespace
+}  // namespace byzcast

@@ -1,0 +1,238 @@
+// Unit tests for the core protocol's passive pieces: MessageStore,
+// GossipQueue, ProtocolConfig, Metrics. The live node is exercised in
+// node_test.cpp and the integration suites.
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/gossip.h"
+#include "core/message_store.h"
+#include "stats/metrics.h"
+
+namespace byzcast::core {
+namespace {
+
+DataMsg make_msg(NodeId origin, std::uint32_t seq) {
+  DataMsg m;
+  m.id = {origin, seq};
+  m.payload = {static_cast<std::uint8_t>(seq)};
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// MessageStore
+// ---------------------------------------------------------------------------
+
+TEST(MessageStore, InsertAndFind) {
+  MessageStore store;
+  EXPECT_TRUE(store.insert(make_msg(1, 0), 100));
+  EXPECT_FALSE(store.insert(make_msg(1, 0), 200));  // duplicate
+  EXPECT_TRUE(store.has({1, 0}));
+  EXPECT_FALSE(store.has({1, 1}));
+  ASSERT_NE(store.find({1, 0}), nullptr);
+  EXPECT_EQ(store.find({1, 0})->received_at, 100u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(MessageStore, AcceptedExactlyOnce) {
+  MessageStore store;
+  EXPECT_TRUE(store.mark_accepted({1, 0}));
+  EXPECT_FALSE(store.mark_accepted({1, 0}));
+  EXPECT_TRUE(store.accepted({1, 0}));
+  EXPECT_FALSE(store.accepted({1, 1}));
+  EXPECT_EQ(store.accepted_count(), 1u);
+}
+
+TEST(MessageStore, GossipSeenTracking) {
+  MessageStore store;
+  EXPECT_FALSE(store.gossip_seen({1, 0}));
+  store.mark_gossip_seen({1, 0});
+  EXPECT_TRUE(store.gossip_seen({1, 0}));
+}
+
+TEST(MessageStore, PurgeDropsOldMessagesOnly) {
+  MessageStore store;
+  store.insert(make_msg(1, 0), des::seconds(1));
+  store.insert(make_msg(1, 1), des::seconds(50));
+  store.mark_gossip_seen({1, 0});
+  store.mark_accepted({1, 0});
+
+  store.purge(des::seconds(60), des::seconds(30));
+  EXPECT_FALSE(store.has({1, 0}));  // 59 s old > 30 s
+  EXPECT_TRUE(store.has({1, 1}));   // 10 s old
+  // Gossip-seen marks die with the buffer entry; accepted ids survive
+  // (at-most-once outlives purging).
+  EXPECT_FALSE(store.gossip_seen({1, 0}));
+  EXPECT_TRUE(store.accepted({1, 0}));
+}
+
+TEST(MessageStore, PurgeBeforeMaxAgeIsNoop) {
+  MessageStore store;
+  store.insert(make_msg(1, 0), 0);
+  store.purge(des::seconds(10), des::seconds(30));
+  EXPECT_TRUE(store.has({1, 0}));
+}
+
+TEST(MessageStore, AtMostOnceSurvivesPurgeCycle) {
+  // A duplicate arriving after its buffer entry was purged must still be
+  // rejected — the validity property's second clause.
+  MessageStore store;
+  store.insert(make_msg(1, 0), 0);
+  store.mark_accepted({1, 0});
+  store.purge(des::seconds(100), des::seconds(30));
+  EXPECT_FALSE(store.has({1, 0}));
+  EXPECT_FALSE(store.mark_accepted({1, 0}));
+}
+
+TEST(MessageStore, StabilityPrefixTracksContiguousAccepts) {
+  MessageStore store;
+  EXPECT_EQ(store.stability_prefix(1), 0u);
+  store.mark_accepted({1, 0});
+  EXPECT_EQ(store.stability_prefix(1), 1u);
+  store.mark_accepted({1, 2});  // gap at seq 1
+  EXPECT_EQ(store.stability_prefix(1), 1u);
+  store.mark_accepted({1, 1});  // gap filled: prefix jumps past both
+  EXPECT_EQ(store.stability_prefix(1), 3u);
+  // Independent per origin.
+  store.mark_accepted({2, 0});
+  EXPECT_EQ(store.stability_prefix(2), 1u);
+  EXPECT_EQ(store.stability_prefix(1), 3u);
+}
+
+TEST(MessageStore, StabilityVectorListsNonZeroOrigins) {
+  MessageStore store;
+  EXPECT_TRUE(store.stability_vector().empty());
+  store.mark_accepted({5, 0});
+  store.mark_accepted({5, 1});
+  store.mark_accepted({9, 1});  // gap at 0: prefix stays 0, not listed
+  auto v = store.stability_vector();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], (std::pair<NodeId, std::uint32_t>{5, 2}));
+}
+
+TEST(MessageStore, PurgeIfDropsOnlyStableAndOldEnough) {
+  MessageStore store;
+  store.insert(make_msg(1, 0), des::seconds(1));
+  store.insert(make_msg(1, 1), des::seconds(1));
+  store.insert(make_msg(1, 2), des::seconds(9));  // too young
+  auto stable = [](const MessageId& id) { return id.seq != 1; };
+  store.purge_if(des::seconds(10), /*min_age=*/des::seconds(5), stable);
+  EXPECT_FALSE(store.has({1, 0}));  // old + stable
+  EXPECT_TRUE(store.has({1, 1}));   // old but not stable
+  EXPECT_TRUE(store.has({1, 2}));   // stable but too young
+}
+
+// ---------------------------------------------------------------------------
+// GossipQueue
+// ---------------------------------------------------------------------------
+
+GossipEntry entry(NodeId origin, std::uint32_t seq) {
+  return {{origin, seq}, {0x42}};
+}
+
+TEST(GossipQueue, RepeatsEntryConfiguredTimes) {
+  GossipQueue q({.repeats = 3, .max_entries_per_packet = 32});
+  q.enqueue(entry(1, 0));
+  for (int round = 0; round < 3; ++round) {
+    auto packets = q.flush();
+    ASSERT_EQ(packets.size(), 1u) << "round " << round;
+    EXPECT_EQ(packets[0].entries.size(), 1u);
+  }
+  EXPECT_TRUE(q.flush().empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(GossipQueue, AggregatesIntoBundles) {
+  GossipQueue q({.repeats = 1, .max_entries_per_packet = 4});
+  for (std::uint32_t i = 0; i < 10; ++i) q.enqueue(entry(1, i));
+  auto packets = q.flush();
+  ASSERT_EQ(packets.size(), 3u);  // 4 + 4 + 2
+  EXPECT_EQ(packets[0].entries.size(), 4u);
+  EXPECT_EQ(packets[2].entries.size(), 2u);
+}
+
+TEST(GossipQueue, ReenqueueRefreshesInsteadOfDuplicating) {
+  GossipQueue q({.repeats = 2, .max_entries_per_packet = 32});
+  q.enqueue(entry(1, 0));
+  (void)q.flush();  // one repeat consumed
+  q.enqueue(entry(1, 0));  // refresh
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.flush()[0].entries.size(), 1u);
+  EXPECT_EQ(q.flush()[0].entries.size(), 1u);  // refreshed to 2 repeats
+  EXPECT_TRUE(q.flush().empty());
+}
+
+TEST(GossipQueue, DropRemovesEntry) {
+  GossipQueue q({.repeats = 5, .max_entries_per_packet = 32});
+  q.enqueue(entry(1, 0));
+  q.enqueue(entry(1, 1));
+  q.drop({1, 0});
+  auto packets = q.flush();
+  ASSERT_EQ(packets.size(), 1u);
+  ASSERT_EQ(packets[0].entries.size(), 1u);
+  EXPECT_EQ(packets[0].entries[0].id, (MessageId{1, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// ProtocolConfig
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolConfig, MaxTimeoutMatchesAnalysisFormula) {
+  ProtocolConfig config;
+  config.gossip_period = des::millis(500);
+  config.request_timeout = des::millis(150);
+  config.reply_suppress = des::millis(100);
+  config.beta = des::millis(5);
+  EXPECT_EQ(config.max_timeout(), des::millis(500 + 150 + 100 + 15));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, DeliveryRatioAveragesOverBroadcasts) {
+  stats::Metrics m;
+  m.on_broadcast({1, 0}, 0, /*targets=*/2);
+  m.on_broadcast({1, 1}, 0, /*targets=*/2);
+  m.on_accept({1, 0}, 5, des::millis(10));
+  m.on_accept({1, 0}, 6, des::millis(20));
+  m.on_accept({1, 1}, 5, des::millis(10));
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), (1.0 + 0.5) / 2);
+  EXPECT_DOUBLE_EQ(m.full_delivery_fraction(), 0.5);
+  EXPECT_EQ(m.latency().count(), 3u);
+}
+
+TEST(Metrics, FlagsDuplicateAndUnknownAccepts) {
+  stats::Metrics m;
+  m.on_broadcast({1, 0}, 0, 2);
+  m.on_accept({1, 0}, 5, 10);
+  m.on_accept({1, 0}, 5, 20);   // duplicate
+  m.on_accept({9, 9}, 5, 30);   // unknown key
+  EXPECT_EQ(m.duplicate_accepts(), 1u);
+  EXPECT_EQ(m.unknown_accepts(), 1u);
+  EXPECT_EQ(m.latency().count(), 1u);  // only the first accept counted
+}
+
+TEST(Metrics, PacketAccounting) {
+  stats::Metrics m;
+  m.on_packet_sent(stats::MsgKind::kData, 100);
+  m.on_packet_sent(stats::MsgKind::kData, 50);
+  m.on_packet_sent(stats::MsgKind::kGossip, 10);
+  EXPECT_EQ(m.packets(stats::MsgKind::kData), 2u);
+  EXPECT_EQ(m.packet_bytes(stats::MsgKind::kData), 150u);
+  EXPECT_EQ(m.total_packets(), 3u);
+  EXPECT_EQ(m.total_packet_bytes(), 160u);
+}
+
+TEST(Metrics, LatencyPercentiles) {
+  stats::LatencyRecorder rec;
+  EXPECT_EQ(rec.percentile(0.5), 0.0);  // empty
+  for (int i = 1; i <= 100; ++i) rec.record(i);
+  EXPECT_DOUBLE_EQ(rec.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(rec.percentile(0.5), 50);
+  EXPECT_DOUBLE_EQ(rec.percentile(0.99), 99);
+  EXPECT_DOUBLE_EQ(rec.percentile(1.0), 100);
+  EXPECT_DOUBLE_EQ(rec.max(), 100);
+}
+
+}  // namespace
+}  // namespace byzcast::core

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "des/rng.h"
+#include "geo/grid_index.h"
+#include "geo/placement.h"
+#include "geo/vec2.h"
+
+namespace byzcast::geo {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  Vec2 a{1, 2}, b{3, 4};
+  EXPECT_EQ((a + b), (Vec2{4, 6}));
+  EXPECT_EQ((b - a), (Vec2{2, 2}));
+  EXPECT_EQ((a * 2.0), (Vec2{2, 4}));
+  EXPECT_DOUBLE_EQ(distance(a, b), std::sqrt(8.0));
+  EXPECT_DOUBLE_EQ(distance_sq(a, b), 8.0);
+}
+
+TEST(Area, ContainsAndClamp) {
+  Area area{10, 20};
+  EXPECT_TRUE(area.contains({5, 5}));
+  EXPECT_FALSE(area.contains({-1, 5}));
+  EXPECT_FALSE(area.contains({5, 21}));
+  EXPECT_EQ(area.clamp({-3, 25}), (Vec2{0, 20}));
+  EXPECT_EQ(area.clamp({5, 5}), (Vec2{5, 5}));
+}
+
+TEST(GridIndex, RejectsBadConfig) {
+  EXPECT_THROW(GridIndex({0, 10}, 1), std::invalid_argument);
+  EXPECT_THROW(GridIndex({10, 10}, 0), std::invalid_argument);
+}
+
+TEST(GridIndex, QueryMatchesBruteForce) {
+  des::Rng rng(17);
+  Area area{100, 100};
+  std::vector<Vec2> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  }
+  GridIndex index(area, 15);
+  index.rebuild(points);
+
+  std::vector<std::size_t> got;
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec2 center{rng.uniform(0, 100), rng.uniform(0, 100)};
+    double radius = rng.uniform(1, 30);
+    index.query(center, radius, got);
+    std::sort(got.begin(), got.end());
+
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (distance(points[i], center) <= radius) expected.push_back(i);
+    }
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(GridIndex, UpdateMovesItems) {
+  GridIndex index({100, 100}, 10);
+  index.rebuild({{5, 5}, {50, 50}});
+  std::vector<std::size_t> out;
+  index.query({5, 5}, 2, out);
+  EXPECT_EQ(out, (std::vector<std::size_t>{0}));
+
+  index.update(0, {90, 90});
+  index.query({5, 5}, 2, out);
+  EXPECT_TRUE(out.empty());
+  index.query({90, 90}, 2, out);
+  EXPECT_EQ(out, (std::vector<std::size_t>{0}));
+
+  EXPECT_THROW(index.update(5, {0, 0}), std::out_of_range);
+}
+
+TEST(Placement, UniformStaysInArea) {
+  des::Rng rng(3);
+  Area area{200, 100};
+  auto points = uniform_placement(500, area, rng);
+  ASSERT_EQ(points.size(), 500u);
+  for (const Vec2& p : points) EXPECT_TRUE(area.contains(p));
+}
+
+TEST(Placement, ChainIsExactlySpaced) {
+  auto points = chain_placement(5, 10, 2);
+  ASSERT_EQ(points.size(), 5u);
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(distance(points[i], points[i + 1]), 10.0);
+  }
+}
+
+TEST(Placement, GridFillsArea) {
+  auto points = grid_placement(9, {90, 90});
+  ASSERT_EQ(points.size(), 9u);
+  // 3x3 grid: distinct positions, all inside.
+  for (const Vec2& p : points) EXPECT_TRUE((Area{90, 90}).contains(p));
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = i + 1; j < 9; ++j) {
+      EXPECT_GT(distance(points[i], points[j]), 1.0);
+    }
+  }
+}
+
+TEST(Placement, ClusteredHasTwoDenseRegionsAndCorridor) {
+  des::Rng rng(7);
+  Area area{600, 300};
+  auto points = clustered_placement(40, area, 4, 80, rng);
+  ASSERT_EQ(points.size(), 40u);
+  for (const Vec2& p : points) EXPECT_TRUE(area.contains(p));
+  // The last 4 points are the corridor: evenly between cluster centres.
+  Vec2 left{120, 150}, right{480, 150};
+  for (std::size_t i = 36; i < 40; ++i) {
+    EXPECT_DOUBLE_EQ(points[i].y, 150.0);
+    EXPECT_GT(points[i].x, left.x);
+    EXPECT_LT(points[i].x, right.x);
+  }
+  // Cluster points are within the disks.
+  for (std::size_t i = 0; i < 36; ++i) {
+    double d = std::min(distance(points[i], left), distance(points[i], right));
+    EXPECT_LE(d, 80.0 + 1e-9);
+  }
+  EXPECT_THROW(clustered_placement(4, area, 3, 80, rng),
+               std::invalid_argument);
+}
+
+TEST(Placement, RingIsEquidistantFromCentre) {
+  Area area{400, 400};
+  auto points = ring_placement(12, area, 150);
+  ASSERT_EQ(points.size(), 12u);
+  Vec2 centre{200, 200};
+  for (const Vec2& p : points) {
+    EXPECT_NEAR(distance(p, centre), 150.0, 1e-9);
+  }
+  // Neighbouring points are closer than opposite ones (it is a circle).
+  EXPECT_LT(distance(points[0], points[1]), distance(points[0], points[6]));
+}
+
+TEST(Placement, ConnectivityCheck) {
+  // A chain with spacing < range is connected...
+  auto chain = chain_placement(10, 10);
+  EXPECT_TRUE(unit_disk_connected(chain, 11));
+  // ...and disconnected when the range shrinks below the spacing.
+  EXPECT_FALSE(unit_disk_connected(chain, 9));
+  EXPECT_TRUE(unit_disk_connected({}, 1));
+  EXPECT_TRUE(unit_disk_connected({{0, 0}}, 1));
+}
+
+TEST(Placement, AdjacencyIsSymmetricWithoutSelfLoops) {
+  auto points = chain_placement(4, 10);
+  auto adj = unit_disk_adjacency(points, 15);
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    EXPECT_TRUE(std::find(adj[i].begin(), adj[i].end(), i) == adj[i].end());
+    for (std::size_t j : adj[i]) {
+      EXPECT_NE(std::find(adj[j].begin(), adj[j].end(), i), adj[j].end());
+    }
+  }
+  // spacing 10, range 15: each node sees only immediate neighbours.
+  EXPECT_EQ(adj[0].size(), 1u);
+  EXPECT_EQ(adj[1].size(), 2u);
+}
+
+TEST(Placement, ConnectedUniformEventuallyConnects) {
+  des::Rng rng(5);
+  auto points = connected_uniform_placement(30, {300, 300}, 120, rng);
+  EXPECT_TRUE(unit_disk_connected(points, 120));
+}
+
+TEST(Placement, ConnectedUniformThrowsWhenImpossible) {
+  des::Rng rng(5);
+  // 50 nodes with 1m range in a 10km field: essentially never connected.
+  EXPECT_THROW(
+      connected_uniform_placement(50, {10000, 10000}, 1, rng, /*attempts=*/3),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace byzcast::geo

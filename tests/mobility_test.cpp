@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "des/rng.h"
+#include "mobility/random_walk.h"
+#include "mobility/random_waypoint.h"
+#include "mobility/static_mobility.h"
+
+namespace byzcast::mobility {
+namespace {
+
+TEST(StaticMobility, NeverMoves) {
+  StaticMobility m({3, 4});
+  EXPECT_EQ(m.position_at(0), (geo::Vec2{3, 4}));
+  EXPECT_EQ(m.position_at(des::seconds(1000)), (geo::Vec2{3, 4}));
+}
+
+TEST(RandomWaypoint, RejectsBadSpeeds) {
+  RandomWaypointConfig config;
+  config.area = {100, 100};
+  config.min_speed_mps = 0;
+  EXPECT_THROW(RandomWaypoint({0, 0}, config, des::Rng(1)),
+               std::invalid_argument);
+  config.min_speed_mps = 5;
+  config.max_speed_mps = 1;
+  EXPECT_THROW(RandomWaypoint({0, 0}, config, des::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(RandomWaypoint, StaysInsideArea) {
+  RandomWaypointConfig config;
+  config.area = {100, 50};
+  config.min_speed_mps = 1;
+  config.max_speed_mps = 10;
+  config.pause = des::millis(100);
+  RandomWaypoint m({50, 25}, config, des::Rng(7));
+  for (int i = 0; i <= 2000; ++i) {
+    geo::Vec2 p = m.position_at(des::millis(50) * i);
+    EXPECT_TRUE(config.area.contains(p)) << "at step " << i;
+  }
+}
+
+TEST(RandomWaypoint, MovesAtBoundedSpeed) {
+  RandomWaypointConfig config;
+  config.area = {1000, 1000};
+  config.min_speed_mps = 2;
+  config.max_speed_mps = 4;
+  RandomWaypoint m({500, 500}, config, des::Rng(9));
+  geo::Vec2 prev = m.position_at(0);
+  for (int i = 1; i <= 1000; ++i) {
+    geo::Vec2 cur = m.position_at(des::millis(100) * i);
+    // 4 m/s over 100 ms = at most 0.4 m (plus epsilon).
+    EXPECT_LE(geo::distance(prev, cur), 0.4 + 1e-6);
+    prev = cur;
+  }
+}
+
+TEST(RandomWaypoint, PausesAtWaypoint) {
+  RandomWaypointConfig config;
+  config.area = {10, 10};
+  config.min_speed_mps = 100;  // legs are nearly instant
+  config.max_speed_mps = 100;
+  config.pause = des::seconds(10);
+  RandomWaypoint m({5, 5}, config, des::Rng(3));
+  // After the (fast) first leg the node dwells: two samples inside the
+  // pause window must be identical.
+  geo::Vec2 a = m.position_at(des::seconds(1));
+  geo::Vec2 b = m.position_at(des::seconds(2));
+  EXPECT_EQ(a, b);
+}
+
+TEST(RandomWaypoint, DeterministicForSeed) {
+  RandomWaypointConfig config;
+  config.area = {100, 100};
+  RandomWaypoint m1({50, 50}, config, des::Rng(42));
+  RandomWaypoint m2({50, 50}, config, des::Rng(42));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(m1.position_at(des::seconds(i)), m2.position_at(des::seconds(i)));
+  }
+}
+
+TEST(RandomWalk, RejectsBadConfig) {
+  RandomWalkConfig config;
+  config.area = {100, 100};
+  config.speed_mps = 0;
+  EXPECT_THROW(RandomWalk({0, 0}, config, des::Rng(1)), std::invalid_argument);
+  config.speed_mps = 1;
+  config.leg_duration = 0;
+  EXPECT_THROW(RandomWalk({0, 0}, config, des::Rng(1)), std::invalid_argument);
+}
+
+TEST(RandomWalk, StaysInsideAreaDespiteReflection) {
+  RandomWalkConfig config;
+  config.area = {50, 30};
+  config.speed_mps = 20;  // fast: reflects often
+  config.leg_duration = des::seconds(5);
+  RandomWalk m({25, 15}, config, des::Rng(21));
+  for (int i = 0; i <= 5000; ++i) {
+    geo::Vec2 p = m.position_at(des::millis(20) * i);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 50.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 30.0);
+  }
+}
+
+TEST(RandomWalk, ActuallyMoves) {
+  RandomWalkConfig config;
+  config.area = {1000, 1000};
+  config.speed_mps = 5;
+  RandomWalk m({500, 500}, config, des::Rng(2));
+  geo::Vec2 start = m.position_at(0);
+  geo::Vec2 later = m.position_at(des::seconds(5));
+  EXPECT_NEAR(geo::distance(start, later), 25.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace byzcast::mobility

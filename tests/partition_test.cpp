@@ -1,0 +1,179 @@
+// Partition & rejoin dynamics (the paper's §3.4 footnote 7: connectivity
+// that holds only intermittently stretches — but does not break —
+// dissemination), plus the scripted-mobility model they are staged with
+// and the anti-entropy extension that makes catch-up work after the
+// normal lazycast repeats are exhausted.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/byzcast_node.h"
+#include "mobility/scripted_mobility.h"
+#include "mobility/static_mobility.h"
+#include "radio/medium.h"
+#include "sim/runner.h"
+
+namespace byzcast {
+namespace {
+
+using mobility::ScriptedMobility;
+
+// ---------------------------------------------------------------------------
+// ScriptedMobility unit tests
+// ---------------------------------------------------------------------------
+
+TEST(ScriptedMobility, ValidatesKeyframes) {
+  EXPECT_THROW(ScriptedMobility({}), std::invalid_argument);
+  EXPECT_THROW(ScriptedMobility({{des::seconds(2), {0, 0}},
+                                 {des::seconds(1), {1, 1}}}),
+               std::invalid_argument);
+  EXPECT_THROW(ScriptedMobility({{des::seconds(1), {0, 0}},
+                                 {des::seconds(1), {1, 1}}}),
+               std::invalid_argument);
+}
+
+TEST(ScriptedMobility, InterpolatesLinearlyAndClamps) {
+  ScriptedMobility m({{des::seconds(10), {0, 0}},
+                      {des::seconds(20), {100, 0}},
+                      {des::seconds(30), {100, 50}}});
+  EXPECT_EQ(m.position_at(0), (geo::Vec2{0, 0}));            // before start
+  EXPECT_EQ(m.position_at(des::seconds(10)), (geo::Vec2{0, 0}));
+  EXPECT_EQ(m.position_at(des::seconds(15)), (geo::Vec2{50, 0}));  // midway
+  EXPECT_EQ(m.position_at(des::seconds(20)), (geo::Vec2{100, 0}));
+  EXPECT_EQ(m.position_at(des::seconds(25)), (geo::Vec2{100, 25}));
+  EXPECT_EQ(m.position_at(des::seconds(99)), (geo::Vec2{100, 50}));  // after
+}
+
+TEST(ScriptedMobility, SingleKeyframeIsStatic) {
+  ScriptedMobility m(
+      std::vector<ScriptedMobility::Keyframe>{{des::seconds(5), {7, 9}}});
+  EXPECT_EQ(m.position_at(0), (geo::Vec2{7, 9}));
+  EXPECT_EQ(m.position_at(des::seconds(100)), (geo::Vec2{7, 9}));
+}
+
+// ---------------------------------------------------------------------------
+// Partition & rejoin, end to end
+// ---------------------------------------------------------------------------
+
+class PartitionFixture : public ::testing::Test {
+ protected:
+  PartitionFixture() : pki_(des::Rng(29)) {
+    medium_ = std::make_unique<radio::Medium>(
+        sim_, std::make_unique<radio::UnitDisk>(), radio::MediumConfig{},
+        &metrics_);
+    config_.gossip_period = des::millis(250);
+    config_.hello_period = des::millis(500);
+    config_.neighbor_timeout = des::millis(1800);
+  }
+
+  core::ByzcastNode& add_node(
+      std::unique_ptr<mobility::MobilityModel> mobility) {
+    auto id = static_cast<NodeId>(radios_.size());
+    mobility_.push_back(std::move(mobility));
+    radios_.push_back(
+        std::make_unique<radio::Radio>(*medium_, id, *mobility_.back(), 100));
+    nodes_.push_back(std::make_unique<core::ByzcastNode>(
+        sim_, *radios_.back(), pki_, pki_.register_node(id), config_,
+        &metrics_));
+    nodes_.back()->start();
+    return *nodes_.back();
+  }
+
+  des::Simulator sim_{31};
+  stats::Metrics metrics_;
+  crypto::Pki pki_;
+  core::ProtocolConfig config_;
+  std::unique_ptr<radio::Medium> medium_;
+  std::vector<std::unique_ptr<mobility::MobilityModel>> mobility_;
+  std::vector<std::unique_ptr<radio::Radio>> radios_;
+  std::vector<std::unique_ptr<core::ByzcastNode>> nodes_;
+};
+
+TEST_F(PartitionFixture, RejoiningNodeCatchesUpViaAntiEntropy) {
+  // Three static nodes in range of each other; a fourth walks 1 km away
+  // during [5 s, 8 s], stays away until 25 s, and walks back by 28 s.
+  core::ByzcastNode& alice =
+      add_node(std::make_unique<mobility::StaticMobility>(geo::Vec2{0, 0}));
+  add_node(std::make_unique<mobility::StaticMobility>(geo::Vec2{60, 0}));
+  add_node(std::make_unique<mobility::StaticMobility>(geo::Vec2{30, 50}));
+  core::ByzcastNode& wanderer =
+      add_node(std::make_unique<ScriptedMobility>(std::vector<
+               ScriptedMobility::Keyframe>{{des::seconds(1), {30, -40}},
+                                           {des::seconds(5), {30, -40}},
+                                           {des::seconds(8), {30, -1000}},
+                                           {des::seconds(25), {30, -1000}},
+                                           {des::seconds(28), {30, -40}}}));
+
+  int wanderer_accepts = 0;
+  wanderer.set_accept_handler([&](auto&&...) { ++wanderer_accepts; });
+
+  sim_.run_until(des::seconds(2));
+  // Everything broadcast while the wanderer is away: 10 messages in
+  // [10 s, 20 s]. The 3 lazycast repeats are long exhausted by 28 s.
+  for (int i = 0; i < 10; ++i) {
+    sim_.schedule_at(des::seconds(10) + des::seconds(1) * i, [&, i] {
+      alice.broadcast(sim::make_payload(i, 64));
+    });
+  }
+  sim_.run_until(des::seconds(24));
+  EXPECT_EQ(wanderer_accepts, 0);  // genuinely partitioned
+
+  // After rejoin: neighbours' hellos advertise stability prefix 10 for
+  // alice; the wanderer's lag triggers anti-entropy re-gossip; requests
+  // and retransmissions follow.
+  sim_.run_until(des::seconds(45));
+  EXPECT_EQ(wanderer_accepts, 10);
+  EXPECT_EQ(wanderer.store().stability_prefix(alice.id()), 10u);
+}
+
+TEST_F(PartitionFixture, WithoutAntiEntropyRejoinerStaysBehind) {
+  config_.anti_entropy = false;  // ablation: the extension is load-bearing
+  core::ByzcastNode& alice =
+      add_node(std::make_unique<mobility::StaticMobility>(geo::Vec2{0, 0}));
+  add_node(std::make_unique<mobility::StaticMobility>(geo::Vec2{60, 0}));
+  core::ByzcastNode& wanderer =
+      add_node(std::make_unique<ScriptedMobility>(std::vector<
+               ScriptedMobility::Keyframe>{{des::seconds(1), {30, -40}},
+                                           {des::seconds(5), {30, -1000}},
+                                           {des::seconds(25), {30, -1000}},
+                                           {des::seconds(26), {30, -40}}}));
+  int wanderer_accepts = 0;
+  wanderer.set_accept_handler([&](auto&&...) { ++wanderer_accepts; });
+
+  sim_.run_until(des::seconds(2));
+  for (int i = 0; i < 5; ++i) {
+    sim_.schedule_at(des::seconds(10) + des::seconds(1) * i, [&, i] {
+      alice.broadcast(sim::make_payload(i, 64));
+    });
+  }
+  // Gossip repeats exhausted long before the 26 s rejoin; without
+  // anti-entropy nothing ever tells the wanderer what it missed.
+  sim_.run_until(des::seconds(45));
+  EXPECT_EQ(wanderer_accepts, 0);
+}
+
+TEST_F(PartitionFixture, MessagesSentDuringBriefPartitionStillArrive) {
+  // A partition shorter than the gossip-repeat horizon: the ordinary
+  // lazycast covers it even without anti-entropy.
+  config_.anti_entropy = false;
+  // Repeats drain at every gossip tick (4/s) AND every hello tick's
+  // piggyback flush (2/s): 40 repeats ≈ 6.7 s of lazycast.
+  config_.gossip_queue.repeats = 40;
+  core::ByzcastNode& alice =
+      add_node(std::make_unique<mobility::StaticMobility>(geo::Vec2{0, 0}));
+  core::ByzcastNode& wanderer =
+      add_node(std::make_unique<ScriptedMobility>(std::vector<
+               ScriptedMobility::Keyframe>{{des::seconds(1), {50, 0}},
+                                           {des::seconds(4), {50, 900}},
+                                           {des::seconds(7), {50, 900}},
+                                           {des::seconds(9), {50, 0}}}));
+  int accepts = 0;
+  wanderer.set_accept_handler([&](auto&&...) { ++accepts; });
+  sim_.run_until(des::seconds(5));
+  alice.broadcast(sim::make_payload(0, 32));  // wanderer is away
+  sim_.run_until(des::seconds(20));
+  EXPECT_EQ(accepts, 1);
+}
+
+}  // namespace
+}  // namespace byzcast

@@ -1,0 +1,167 @@
+// Property sweeps (parameterized gtest): the paper's correctness
+// properties checked across seeds, overlay rules and adversary mixes.
+//
+//  * Validity (Thm 3.1): only genuinely-broadcast messages are accepted,
+//    each at most once per node.
+//  * Eventual dissemination (Thm 3.2): connected correct graph => every
+//    correct node accepts every broadcast.
+//  * Dissemination-time bound (Thm 3.4): worst accept latency stays under
+//    max_timeout * (n-1).
+//  * Overlay health (Lemma 3.5): after stabilization the correct overlay
+//    members form a connected dominating backbone.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/runner.h"
+
+namespace byzcast {
+namespace {
+
+using OverlayKind = overlay::OverlayKind;
+
+sim::ScenarioConfig sweep_config(std::uint64_t seed, OverlayKind kind) {
+  sim::ScenarioConfig config;
+  config.seed = seed;
+  config.n = 30;
+  config.area = {450, 450};
+  config.tx_range = 140;
+  config.protocol_config.overlay_kind = kind;
+  config.num_broadcasts = 6;
+  config.warmup = des::seconds(5);
+  config.cooldown = des::seconds(15);
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Failure-free sweep: seeds x overlay rules
+// ---------------------------------------------------------------------------
+
+class FailureFreeSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, OverlayKind>> {
+};
+
+TEST_P(FailureFreeSweep, FullDeliveryValidityAndHealthyOverlay) {
+  auto [seed, kind] = GetParam();
+  sim::ScenarioConfig config = sweep_config(seed, kind);
+  sim::Network network(config);
+  sim::RunResult result = sim::run_workload(network);
+
+  EXPECT_DOUBLE_EQ(result.metrics.delivery_ratio(), 1.0);
+  EXPECT_EQ(result.metrics.duplicate_accepts(), 0u);
+  EXPECT_EQ(result.metrics.unknown_accepts(), 0u);
+  EXPECT_TRUE(result.overlay_healthy_end);
+  // Efficiency sanity: DATA transmissions per broadcast stay below the
+  // flooding cost of n.
+  EXPECT_LT(result.metrics.packets(stats::MsgKind::kData),
+            config.n * config.num_broadcasts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndRules, FailureFreeSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u),
+                       ::testing::Values(OverlayKind::kCds,
+                                         OverlayKind::kMisB)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == OverlayKind::kCds ? "_cds" : "_misb");
+    });
+
+// ---------------------------------------------------------------------------
+// Byzantine sweep: seeds x adversary kinds (20% of the network)
+// ---------------------------------------------------------------------------
+
+class ByzantineSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, byz::AdversaryKind>> {};
+
+TEST_P(ByzantineSweep, DisseminationAndValiditySurvive) {
+  auto [seed, kind] = GetParam();
+  sim::ScenarioConfig config = sweep_config(seed, OverlayKind::kCds);
+  config.adversaries = {{kind, 6}};  // 20% Byzantine
+  sim::Network network(config);
+  if (!network.correct_graph_connected()) {
+    GTEST_SKIP() << "correct graph disconnected for this seed: the paper's "
+                    "standing assumption does not hold, no protocol could "
+                    "deliver";
+  }
+  sim::RunResult result = sim::run_workload(network);
+  EXPECT_DOUBLE_EQ(result.metrics.delivery_ratio(), 1.0)
+      << "adversary " << byz::adversary_kind_name(kind);
+  EXPECT_EQ(result.metrics.duplicate_accepts(), 0u);
+  EXPECT_EQ(result.metrics.unknown_accepts(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndAdversaries, ByzantineSweep,
+    ::testing::Combine(
+        ::testing::Values(11u, 12u, 13u, 14u),
+        ::testing::Values(byz::AdversaryKind::kMute,
+                          byz::AdversaryKind::kLiar,
+                          byz::AdversaryKind::kForger,
+                          byz::AdversaryKind::kFakeGossiper,
+                          byz::AdversaryKind::kSelectiveForwarder,
+                          byz::AdversaryKind::kTransientMute,
+                          byz::AdversaryKind::kHelloLiar,
+                          byz::AdversaryKind::kReplayer)),
+    [](const auto& info) {
+      std::string name = byz::adversary_kind_name(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_" + name;
+    });
+
+// ---------------------------------------------------------------------------
+// Dissemination-time bound sweep (Thm 3.4)
+// ---------------------------------------------------------------------------
+
+class LatencyBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LatencyBoundSweep, WorstAcceptLatencyWithinTheoremBound) {
+  sim::ScenarioConfig config = sweep_config(GetParam(), OverlayKind::kCds);
+  config.adversaries = {{byz::AdversaryKind::kMute, 5}};
+  sim::Network network(config);
+  if (!network.correct_graph_connected()) {
+    GTEST_SKIP() << "assumption violated for this seed";
+  }
+  sim::RunResult result = sim::run_workload(network);
+  ASSERT_DOUBLE_EQ(result.metrics.delivery_ratio(), 1.0);
+  double bound = des::to_seconds(config.protocol_config.max_timeout()) *
+                 static_cast<double>(config.n - 1);
+  EXPECT_LT(result.metrics.latency().max(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatencyBoundSweep,
+                         ::testing::Values(21u, 22u, 23u, 24u, 25u));
+
+// ---------------------------------------------------------------------------
+// Buffer bound sweep (§3.5): live buffer never exceeds the analysis
+// envelope max_timeout * (n-1) * delta (with delta = injection rate).
+// ---------------------------------------------------------------------------
+
+class BufferBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BufferBoundSweep, StoreStaysWithinAnalysisEnvelope) {
+  sim::ScenarioConfig config = sweep_config(GetParam(), OverlayKind::kCds);
+  config.num_broadcasts = 20;
+  config.broadcast_interval = des::millis(250);
+  config.protocol_config.purge_timeout = des::seconds(8);
+  sim::Network network(config);
+  sim::RunResult result = sim::run_workload(network);
+  EXPECT_DOUBLE_EQ(result.metrics.delivery_ratio(), 1.0);
+  // Everything a node may buffer is bounded by what was injected within
+  // one purge window: rate * purge_timeout (+1 rounding).
+  double rate = 1.0 / des::to_seconds(config.broadcast_interval);
+  auto bound = static_cast<std::size_t>(
+      rate * des::to_seconds(config.protocol_config.purge_timeout)) + 1;
+  for (NodeId id : network.correct_nodes()) {
+    EXPECT_LE(network.byzcast_node(id)->store().size(), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferBoundSweep,
+                         ::testing::Values(31u, 32u, 33u));
+
+}  // namespace
+}  // namespace byzcast

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/bytes.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace byzcast::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ByteWriter / ByteReader
+// ---------------------------------------------------------------------------
+
+TEST(Bytes, RoundTripPrimitives) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f64(3.14159);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, RoundTripStringsAndBytes) {
+  ByteWriter w;
+  w.str("hello wireless world");
+  w.bytes(to_bytes("payload"));
+  w.str("");  // empty string round-trips
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "hello wireless world");
+  EXPECT_EQ(to_string(r.bytes()), "payload");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Bytes, ReaderUnderflowLatchesError) {
+  std::vector<std::uint8_t> short_buf{1, 2};
+  ByteReader r(short_buf);
+  EXPECT_EQ(r.u32(), 0u);  // not enough bytes
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u64(), 0u);  // stays failed
+  EXPECT_FALSE(r.done());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, ReaderRejectsOversizedLengthPrefix) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8(1);      // only one does
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, DoneRequiresFullConsumption) {
+  ByteWriter w;
+  w.u16(7);
+  w.u16(8);
+  ByteReader r(w.data());
+  r.u16();
+  EXPECT_FALSE(r.done());
+  r.u16();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, RawHasNoLengthPrefix) {
+  ByteWriter w;
+  std::vector<std::uint8_t> raw{9, 8, 7};
+  w.raw(raw);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+TEST(Table, FormatsCells) {
+  EXPECT_EQ(format_cell(Cell{std::string("x")}), "x");
+  EXPECT_EQ(format_cell(Cell{std::int64_t{42}}), "42");
+  EXPECT_EQ(format_cell(Cell{1.5}), "1.5");
+  EXPECT_EQ(format_cell(Cell{2.0}), "2.0");
+  EXPECT_EQ(format_cell(Cell{0.125}), "0.125");
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({Cell{std::int64_t{1}}}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedAndCsv) {
+  Table t({"n", "ratio"});
+  t.add_row({std::int64_t{100}, 0.5});
+  t.add_row({std::int64_t{5}, 1.0});
+
+  std::ostringstream text;
+  t.print(text);
+  EXPECT_NE(text.str().find("n"), std::string::npos);
+  EXPECT_NE(text.str().find("0.5"), std::string::npos);
+
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "n,ratio\n100,0.5\n5,1.0\n");
+}
+
+// ---------------------------------------------------------------------------
+// CliArgs
+// ---------------------------------------------------------------------------
+
+TEST(Cli, ParsesFlagsInBothForms) {
+  const char* argv[] = {"prog", "--n=100", "--seed", "42", "--verbose"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int("n", 0), 100);
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Cli, ParsesDoublesAndStrings) {
+  const char* argv[] = {"prog", "--rate=0.25", "--name=cds"};
+  CliArgs args(3, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0), 0.25);
+  EXPECT_EQ(args.get_str("name", ""), "cds");
+}
+
+TEST(Cli, RejectsMalformedInput) {
+  const char* bad[] = {"prog", "notaflag"};
+  EXPECT_THROW(CliArgs(2, bad), std::invalid_argument);
+
+  const char* argv[] = {"prog", "--n=abc"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, RejectUnknownFlagsUnqueriedFlags) {
+  const char* argv[] = {"prog", "--typo=1"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.reject_unknown(), std::invalid_argument);
+  args.get_int("typo", 0);
+  EXPECT_NO_THROW(args.reject_unknown());
+}
+
+}  // namespace
+}  // namespace byzcast::util
