@@ -10,6 +10,7 @@
 // from byz::adversary_kind_name (mute, verbose, forger, liar,
 // fake-gossiper, selective, delayed-mute, transient-mute, hello-liar,
 // replayer).
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -127,6 +128,21 @@ int main(int argc, char** argv) try {
   config.protocol_config.trust_propagation =
       args.get_bool("trust-propagation", true);
 
+  // Fault schedule (sim/fault.h documents the line format):
+  //   ./byzsim --fault-script=faults.txt
+  // with faults.txt containing e.g. "t=10 crash node=3".
+  std::string fault_script = args.get_str("fault-script", "");
+  if (!fault_script.empty()) {
+    std::ifstream file(fault_script);
+    if (!file) {
+      throw std::invalid_argument("--fault-script: cannot open " +
+                                  fault_script);
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    config.fault_schedule = sim::FaultSchedule::parse(text.str());
+  }
+
   bool analyze = args.get_bool("analyze", false);
   std::string trace_format = args.get_str("trace", "");  // text|csv|jsonl
   config.enable_trace = !trace_format.empty();
@@ -172,6 +188,16 @@ int main(int argc, char** argv) try {
   add("frames_sent", static_cast<std::int64_t>(m.frames_sent()));
   add("frames_collided", static_cast<std::int64_t>(m.frames_collided()));
   add("sim_seconds", result.sim_seconds);
+  if (!config.fault_schedule.empty()) {
+    add("availability", result.availability);
+    add("downtime_events", static_cast<std::int64_t>(m.downtime_events()));
+    add("recoveries_returned",
+        static_cast<std::int64_t>(m.recoveries_returned()));
+    add("recoveries_completed",
+        static_cast<std::int64_t>(m.recoveries_completed()));
+    add("catchup_mean_s", m.catchup_latency().mean());
+    add("catchup_p99_s", m.catchup_latency().percentile(0.99));
+  }
   if (config.protocol == sim::ProtocolKind::kByzcast) {
     add("overlay_size", static_cast<std::int64_t>(result.overlay_size_end));
     add("overlay_healthy", std::string(result.overlay_healthy_end ? "yes" : "no"));

@@ -3,8 +3,11 @@
 // sizes, failure-detector counters). The example to copy when debugging
 // a scenario of your own.
 //
-//   ./build/examples/network_inspector [--n=25] [--mute=0] [--seed=3]
+//   ./build/examples/network_inspector [--n=25] [--mute=0] [--seed=3] \
+//       [--fault-script=faults.txt]
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "sim/runner.h"
 #include "util/cli.h"
@@ -20,12 +23,31 @@ int main(int argc, char** argv) {
   config.num_broadcasts = static_cast<std::size_t>(args.get_int("bcasts", 10));
   auto mute = static_cast<std::size_t>(args.get_int("mute", 0));
   if (mute > 0) config.adversaries.push_back({byz::AdversaryKind::kMute, mute});
+  std::string fault_script = args.get_str("fault-script", "");
+  if (!fault_script.empty()) {
+    std::ifstream file(fault_script);
+    std::ostringstream text;
+    text << file.rdbuf();
+    config.fault_schedule = sim::FaultSchedule::parse(text.str());
+  }
 
   sim::Network network(config);
   sim::RunResult result = sim::run_workload(network);
   const stats::Metrics& m = result.metrics;
 
   std::printf("delivery=%.4f\n", m.delivery_ratio());
+  std::printf(
+      "availability=%.4f node_seconds_available=%.1f downtime_events=%llu "
+      "recoveries=%llu/%llu catchup_mean=%.2fs catchup_p50=%.2fs "
+      "catchup_p99=%.2fs\n",
+      result.availability,
+      m.node_seconds_available(network.simulator().now(),
+                               network.node_count()),
+      static_cast<unsigned long long>(m.downtime_events()),
+      static_cast<unsigned long long>(m.recoveries_completed()),
+      static_cast<unsigned long long>(m.recoveries_returned()),
+      m.catchup_latency().mean(), m.catchup_latency().percentile(0.5),
+      m.catchup_latency().percentile(0.99));
   for (const auto& [key, rec] : m.records()) {
     std::printf("bcast (%u,%u) sent_at=%.2fs accepted=%zu/%zu missing:",
                 key.origin, key.seq, des::to_seconds(rec.sent_at),

@@ -90,6 +90,11 @@ VerboseAdversary::VerboseAdversary(des::Simulator& sim, radio::Radio& radio,
     : ByzcastNode(sim, radio, pki, signer, config, metrics),
       spam_timer_(sim, spam_period, [this] { spam(); }) {}
 
+void VerboseAdversary::stop() {
+  ByzcastNode::stop();
+  spam_timer_.stop();
+}
+
 void VerboseAdversary::start() {
   ByzcastNode::start();
   spam_timer_.start();
@@ -125,6 +130,11 @@ ForgerAdversary::ForgerAdversary(des::Simulator& sim, radio::Radio& radio,
     : ByzcastNode(sim, radio, pki, signer, config, metrics),
       forge_timer_(sim, forge_period, [this] { forge(); }),
       victim_(victim) {}
+
+void ForgerAdversary::stop() {
+  ByzcastNode::stop();
+  forge_timer_.stop();
+}
 
 void ForgerAdversary::start() {
   ByzcastNode::start();
@@ -373,6 +383,11 @@ ReplayerAdversary::ReplayerAdversary(des::Simulator& sim, radio::Radio& radio,
                                      des::SimDuration replay_period)
     : ByzcastNode(sim, radio, pki, signer, config, metrics),
       replay_timer_(sim, replay_period, [this] { replay(); }) {}
+
+void ReplayerAdversary::stop() {
+  ByzcastNode::stop();
+  replay_timer_.stop();
+}
 
 void ReplayerAdversary::start() {
   ByzcastNode::start();

@@ -80,6 +80,7 @@ class VerboseAdversary final : public core::ByzcastNode {
                    stats::Metrics* metrics = nullptr,
                    des::SimDuration spam_period = des::millis(5));
   void start() override;
+  void stop() override;
 
  private:
   void spam();
@@ -102,6 +103,7 @@ class ForgerAdversary final : public core::ByzcastNode {
                   des::SimDuration forge_period = des::millis(500),
                   NodeId victim = 0);
   void start() override;
+  void stop() override;
 
  private:
   void forge();
@@ -236,6 +238,7 @@ class ReplayerAdversary final : public core::ByzcastNode {
                     core::ProtocolConfig config, stats::Metrics* metrics,
                     des::SimDuration replay_period);
   void start() override;
+  void stop() override;
 
  protected:
   void handle_data(const core::DataMsg& msg, NodeId from) override;

@@ -77,10 +77,37 @@ ByzcastNode::ByzcastNode(des::Simulator& sim, radio::Radio& radio,
 }
 
 void ByzcastNode::start() {
+  running_ = true;
   // Randomized phases keep beacons and gossip bundles of different nodes
   // from synchronizing into collision bursts.
   gossip_timer_.start(rng_.next_below(config_.gossip_period) + 1);
   hello_timer_.start(rng_.next_below(config_.hello_period) + 1);
+}
+
+void ByzcastNode::stop() {
+  if (!running_) return;
+  running_ = false;
+  ++incarnation_;
+  gossip_timer_.stop();
+  hello_timer_.stop();
+}
+
+void ByzcastNode::restart() {
+  if (running_) return;
+  store_.clear();
+  gossip_queue_.clear();
+  table_.clear();
+  mute_.reset();
+  verbose_.reset();
+  trust_.reset();
+  last_request_.clear();
+  forwarded_finds_.clear();
+  last_find_issued_.clear();
+  request_counts_.clear();
+  pending_missing_.clear();
+  active_ = false;
+  dominator_ = false;
+  start();
 }
 
 void ByzcastNode::suspect(NodeId node, fd::SuspicionReason reason) {
@@ -153,6 +180,9 @@ void ByzcastNode::broadcast(std::vector<std::uint8_t> payload) {
 // Dispatch (the "FD interceptor" between network and protocol)
 // ---------------------------------------------------------------------------
 void ByzcastNode::on_frame(const radio::Frame& frame) {
+  // A frame already in flight when the node crashed may still be
+  // delivered by the medium this tick; a halted node hears nothing.
+  if (!running_) return;
   std::optional<Packet> packet = parse_packet(frame.payload);
   if (!packet) {
     // Unparseable bytes from a known transmitter: locally observable
@@ -303,7 +333,9 @@ void ByzcastNode::handle_gossip(const GossipMsg& msg, NodeId from) {
     // the gossiper is armed together with the request: the gossiper's
     // obligation is to *supply on demand*, and anyone delivering the
     // message discharges it (Satisfy::kAnySender).
-    sim_.schedule_after(config_.request_timeout, [this, entry, from] {
+    sim_.schedule_after(config_.request_timeout,
+                        [this, entry, from, epoch = incarnation_] {
+      if (epoch != incarnation_ || !running_) return;  // crashed since armed
       if (store_.has(entry.id)) return;
       mute_.expect(data_pattern(entry.id), {from}, fd::MuteFd::Mode::kOne,
                    fd::MuteFd::Satisfy::kAnySender);
@@ -469,7 +501,13 @@ HelloMsg ByzcastNode::make_hello() {
 }
 
 void ByzcastNode::on_hello_tick() {
-  table_.expire(sim_.now());
+  // Departed (or crashed) neighbours owe us nothing any more: drop the
+  // MUTE expectations still armed on them so a node that is simply gone
+  // does not keep accruing misses (Observation 3.4). Its existing
+  // suspicion still ages out on its own.
+  for (NodeId expired : table_.expire(sim_.now())) {
+    mute_.forget(expired);
+  }
   // The timeout purge always runs: under kStability it is the hard upper
   // bound a Byzantine neighbour cannot extend by under-reporting its
   // stability prefix forever.

@@ -58,8 +58,26 @@ class ByzcastNode {
   ByzcastNode& operator=(const ByzcastNode&) = delete;
 
   /// Arms the gossip/hello/purge timers (phase-randomized) and sends the
-  /// first HELLO. Call once after construction.
+  /// first HELLO. Call once after construction (and again via restart()).
   virtual void start();
+
+  /// Crash-stop (fault injection): cancels the periodic timers and marks
+  /// the node halted so in-flight callbacks (recovery one-shots, frames
+  /// already delivered by the radio) become no-ops. State is left in
+  /// place — restart() wipes it, since nothing can read it while halted.
+  /// Adversaries with extra timers override this to stop them too.
+  virtual void stop();
+
+  /// Crash-recover: wipes all volatile state — message store, gossip
+  /// queue, neighbour table, failure detectors, recovery bookkeeping,
+  /// overlay role — and rejoins the protocol via start(). Keys and the
+  /// broadcast sequence counter survive (they model persistent storage;
+  /// reusing sequence numbers would alias old message ids). The node
+  /// catches up on missed messages through gossip/anti-entropy like any
+  /// rejoining node.
+  void restart();
+
+  [[nodiscard]] bool running() const { return running_; }
 
   /// The paper's broadcast(p, m): signs and disseminates `payload`.
   void broadcast(std::vector<std::uint8_t> payload);
@@ -146,6 +164,12 @@ class ByzcastNode {
   std::unique_ptr<overlay::OverlayRule> overlay_rule_;
   bool active_ = false;
   bool dominator_ = false;
+  bool running_ = false;
+  /// Bumped by every stop(); one-shot callbacks scheduled on the raw
+  /// simulator capture the epoch they were armed in and bail if the node
+  /// crashed (and possibly restarted) since — a restart must not inherit
+  /// pre-crash sends.
+  std::uint32_t incarnation_ = 0;
 
   AcceptHandler accept_handler_;
   std::size_t targets_ = 0;

@@ -38,6 +38,9 @@ class GossipQueue {
   /// Drops a queued entry (e.g. its message was purged).
   void drop(const MessageId& id);
 
+  /// Drops everything (crash of the owning node's volatile state).
+  void clear() { queue_.clear(); }
+
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
  private:

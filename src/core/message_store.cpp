@@ -85,4 +85,11 @@ void MessageStore::purge(des::SimTime now, des::SimDuration max_age) {
   }
 }
 
+void MessageStore::clear() {
+  stored_.clear();
+  accepted_.clear();
+  gossip_seen_.clear();
+  prefix_.clear();
+}
+
 }  // namespace byzcast::core

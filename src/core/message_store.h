@@ -68,6 +68,12 @@ class MessageStore {
   void purge_if(des::SimTime now, des::SimDuration min_age,
                 const std::function<bool(const MessageId&)>& stable);
 
+  /// Wipes everything — stored messages, accepted ids, gossip-seen marks
+  /// and stability prefixes. Models a crash of the volatile memory the
+  /// store lives in (fault injection's kCrashRecover); the at-most-once
+  /// accept guarantee consequently only spans one node incarnation.
+  void clear();
+
   [[nodiscard]] std::size_t size() const { return stored_.size(); }
   [[nodiscard]] std::size_t accepted_count() const { return accepted_.size(); }
 

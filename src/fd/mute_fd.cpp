@@ -108,6 +108,13 @@ std::vector<NodeId> MuteFd::suspects() const {
   return out;
 }
 
+void MuteFd::reset() {
+  for (Expectation& e : expectations_) sim_.cancel(e.timeout);
+  expectations_.clear();
+  miss_count_.clear();
+  suspected_until_.clear();
+}
+
 void MuteFd::forget(NodeId node) {
   for (auto it = expectations_.begin(); it != expectations_.end();) {
     auto pos = std::find(it->outstanding.begin(), it->outstanding.end(), node);

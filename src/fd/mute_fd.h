@@ -71,6 +71,12 @@ class MuteFd {
   /// neighbourhood; Observation 3.4's "neighbours will not expect p").
   void forget(NodeId node);
 
+  /// Wipes every expectation (cancelling their timeouts), miss counter
+  /// and suspicion — the owning node crashed and lost its volatile FD
+  /// state. The aging timer keeps running; it is harness machinery, not
+  /// protocol state.
+  void reset();
+
  private:
   struct Expectation {
     HeaderPattern pattern;

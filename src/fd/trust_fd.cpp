@@ -58,4 +58,10 @@ std::uint64_t TrustFd::suspicion_events(SuspicionReason reason) const {
   return reason_counts_[static_cast<std::size_t>(reason)];
 }
 
+void TrustFd::reset() {
+  untrusted_until_.clear();
+  reported_until_.clear();
+  for (auto& count : reason_counts_) count = 0;
+}
+
 }  // namespace byzcast::fd

@@ -56,6 +56,10 @@ class TrustFd {
   /// Count of suspect() calls per reason, for diagnostics and tests.
   [[nodiscard]] std::uint64_t suspicion_events(SuspicionReason reason) const;
 
+  /// Wipes all suspicions, reports and event counters (crash of the
+  /// owning node's volatile state).
+  void reset();
+
   /// Fired on trusted->untrusted and untrusted->trusted edges.
   void set_on_change(ChangeCallback cb) { on_change_ = std::move(cb); }
 

@@ -71,4 +71,10 @@ int VerboseFd::indictment_count(NodeId node) const {
   return it == indictments_.end() ? 0 : it->second;
 }
 
+void VerboseFd::reset() {
+  last_arrival_.clear();
+  indictments_.clear();
+  suspected_until_.clear();
+}
+
 }  // namespace byzcast::fd

@@ -55,6 +55,10 @@ class VerboseFd {
   [[nodiscard]] std::vector<NodeId> suspects() const;
   [[nodiscard]] int indictment_count(NodeId node) const;
 
+  /// Wipes indictment counters, arrival history and suspicions (crash of
+  /// the owning node). Min-spacing rules are init-time config and stay.
+  void reset();
+
  private:
   void age_counters();
 

@@ -34,11 +34,16 @@ std::uint32_t NeighborTable::reported_stability(NodeId reporter,
   return 0;
 }
 
-void NeighborTable::expire(des::SimTime now) {
-  if (now < entry_timeout_) return;
+std::vector<NodeId> NeighborTable::expire(des::SimTime now) {
+  std::vector<NodeId> expired;
+  if (now < entry_timeout_) return expired;
   des::SimTime cutoff = now - entry_timeout_;
-  std::erase_if(entries_,
-                [cutoff](const Entry& e) { return e.last_heard < cutoff; });
+  std::erase_if(entries_, [cutoff, &expired](const Entry& e) {
+    if (e.last_heard >= cutoff) return false;
+    expired.push_back(e.id);
+    return true;
+  });
+  return expired;
 }
 
 const NeighborTable::Entry* NeighborTable::find(NodeId id) const {

@@ -45,8 +45,15 @@ class NeighborTable {
   [[nodiscard]] std::uint32_t reported_stability(NodeId reporter,
                                                  NodeId origin) const;
 
-  /// Drops entries not heard from since `now - entry_timeout`.
-  void expire(des::SimTime now);
+  /// Drops entries not heard from since `now - entry_timeout`. Returns
+  /// the ids dropped, so the caller can release failure-detector
+  /// expectations on departed nodes (Observation 3.4: a node that left
+  /// the neighbourhood owes us nothing — crashed nodes must not keep
+  /// accruing MUTE misses while down).
+  std::vector<NodeId> expire(des::SimTime now);
+
+  /// Drops every entry (crash of the owning node's volatile state).
+  void clear() { entries_.clear(); }
 
   [[nodiscard]] const Entry* find(NodeId id) const;
   [[nodiscard]] bool contains(NodeId id) const { return find(id) != nullptr; }

@@ -28,6 +28,7 @@ void Medium::register_radio(Radio& radio) {
   NodeId id = radio.id();
   if (id >= radios_.size()) {
     radios_.resize(id + 1, nullptr);
+    attached_.resize(id + 1, true);
     tx_busy_until_.resize(id + 1, 0);
     tx_intervals_.resize(id + 1);
     receptions_.resize(id + 1);
@@ -70,10 +71,22 @@ void Medium::prune(NodeId id, des::SimTime now) {
   while (!tx.empty() && tx.front().end < now) tx.pop_front();
 }
 
+void Medium::set_attached(NodeId id, bool attached) {
+  if (id >= radios_.size() || radios_[id] == nullptr) {
+    throw std::out_of_range("Medium::set_attached: unknown node");
+  }
+  attached_[id] = attached;
+}
+
+bool Medium::attached(NodeId id) const {
+  return id < radios_.size() && radios_[id] != nullptr && attached_[id];
+}
+
 void Medium::transmit(NodeId sender, std::vector<std::uint8_t> payload) {
   if (sender >= radios_.size() || radios_[sender] == nullptr) {
     throw std::out_of_range("Medium::transmit: unknown sender");
   }
+  if (!attached_[sender]) return;  // powered off: the frame never airs
   Frame frame{sender, std::move(payload)};
   const std::size_t wire = frame.wire_size();
 
@@ -126,14 +139,19 @@ void Medium::transmit(NodeId sender, std::vector<std::uint8_t> payload) {
 void Medium::begin_transmission(Frame frame, des::SimTime t_start,
                                 des::SimTime t_end) {
   const NodeId sender = frame.sender;
+  if (!attached_[sender]) return;  // radio died between queueing and airtime
   Radio* tx_radio = radios_[sender];
   const geo::Vec2 tx_pos = tx_radio->position_at(t_start);
   const double nominal = tx_radio->range();
   const double reach = propagation_->max_range(nominal);
 
   for (NodeId rx = 0; rx < radios_.size(); ++rx) {
-    if (rx == sender || radios_[rx] == nullptr) continue;
-    double dist = geo::distance(tx_pos, radios_[rx]->position_at(t_start));
+    if (rx == sender || radios_[rx] == nullptr || !attached_[rx]) continue;
+    geo::Vec2 rx_pos = radios_[rx]->position_at(t_start);
+    if (wall_x_ && (tx_pos.x < *wall_x_) != (rx_pos.x < *wall_x_)) {
+      continue;  // area split: the wall blocks this link
+    }
+    double dist = geo::distance(tx_pos, rx_pos);
     if (dist > reach) continue;
     if (!propagation_->delivered(dist, nominal, rng_) ||
         rng_.chance(config_.base_loss_prob)) {
@@ -170,6 +188,10 @@ void Medium::begin_transmission(Frame frame, des::SimTime t_start,
           // Each corrupted reception is counted exactly once, here.
           if (reception->corrupted) {
             if (metrics_ != nullptr) metrics_->on_frame_collided();
+            return;
+          }
+          if (!attached_[rx]) {  // detached while the frame was in flight
+            if (metrics_ != nullptr) metrics_->on_frame_dropped();
             return;
           }
           if (metrics_ != nullptr) {

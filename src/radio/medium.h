@@ -22,6 +22,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "des/rng.h"
@@ -69,6 +70,19 @@ class Medium {
   /// Queues a broadcast transmission from `sender`.
   void transmit(NodeId sender, std::vector<std::uint8_t> payload);
 
+  // --- mid-run dynamics (fault injection) ---------------------------------
+  /// Detaches/reattaches a radio. A detached radio transmits nothing and
+  /// hears nothing — frames in flight towards it at detach time are lost.
+  /// Models a powered-off node or a radio outage; the owning node's code
+  /// may well keep running.
+  void set_attached(NodeId id, bool attached);
+  [[nodiscard]] bool attached(NodeId id) const;
+  /// Timed area split: while set, frames whose transmitter and receiver
+  /// lie on opposite sides of the vertical line x = `wall_x` are lost.
+  void set_partition_wall(double wall_x) { wall_x_ = wall_x; }
+  void clear_partition_wall() { wall_x_.reset(); }
+  [[nodiscard]] bool partitioned() const { return wall_x_.has_value(); }
+
   /// Position of a node now (samples its mobility model).
   [[nodiscard]] geo::Vec2 position_of(NodeId id) const;
 
@@ -104,6 +118,8 @@ class Medium {
   des::Rng rng_;
 
   std::vector<Radio*> radios_;  // indexed by NodeId; nullptr = unregistered
+  std::vector<bool> attached_;  // indexed by NodeId; default true
+  std::optional<double> wall_x_;
   std::vector<des::SimTime> tx_busy_until_;
   std::vector<std::deque<Interval>> tx_intervals_;
   std::vector<std::deque<std::shared_ptr<Reception>>> receptions_;

@@ -19,4 +19,8 @@ void Radio::send(std::vector<std::uint8_t> payload) {
   medium_.transmit(id_, std::move(payload));
 }
 
+void Radio::attach() { medium_.set_attached(id_, true); }
+void Radio::detach() { medium_.set_attached(id_, false); }
+bool Radio::attached() const { return medium_.attached(id_); }
+
 }  // namespace byzcast::radio

@@ -29,6 +29,13 @@ class Radio {
   /// Broadcasts `payload` to the one-hop neighbourhood.
   void send(std::vector<std::uint8_t> payload);
 
+  /// Powers the radio on/off on the medium (fault injection: crashes and
+  /// radio outages). While detached the radio neither transmits nor
+  /// receives; frames in flight towards it are lost.
+  void attach();
+  void detach();
+  [[nodiscard]] bool attached() const;
+
   /// Installs the upper-layer receive callback (one consumer).
   void set_receive_handler(ReceiveHandler handler) {
     handler_ = std::move(handler);

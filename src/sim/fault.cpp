@@ -1,0 +1,115 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace byzcast::sim {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrashStop:
+      return "crash";
+    case FaultKind::kCrashRecover:
+      return "recover";
+    case FaultKind::kRadioOutage:
+      return "radio-off";
+    case FaultKind::kRadioRestore:
+      return "radio-on";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+    case FaultKind::kJoin:
+      return "join";
+    case FaultKind::kLeave:
+      return "leave";
+  }
+  return "?";
+}
+
+FaultKind fault_kind_from_name(const std::string& name) {
+  for (auto kind :
+       {FaultKind::kCrashStop, FaultKind::kCrashRecover,
+        FaultKind::kRadioOutage, FaultKind::kRadioRestore,
+        FaultKind::kPartition, FaultKind::kHeal, FaultKind::kJoin,
+        FaultKind::kLeave}) {
+    if (name == fault_kind_name(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown fault kind: " + name);
+}
+
+des::SimTime FaultSchedule::end_time() const {
+  des::SimTime end = 0;
+  for (const FaultEvent& event : events) end = std::max(end, event.at);
+  return end;
+}
+
+namespace {
+
+[[noreturn]] void bad_line(const std::string& line, const std::string& why) {
+  throw std::invalid_argument("fault schedule: " + why + " in line: " + line);
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::parse(const std::string& text) {
+  FaultSchedule schedule;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    std::string field;
+    if (!(fields >> field)) continue;  // blank / comment-only line
+
+    FaultEvent event;
+    bool have_time = false;
+    bool have_kind = false;
+    bool have_node = false;
+    do {
+      if (field.rfind("t=", 0) == 0) {
+        event.at = des::from_seconds(std::stod(field.substr(2)));
+        have_time = true;
+      } else if (field.rfind("node=", 0) == 0) {
+        event.node = static_cast<NodeId>(std::stoul(field.substr(5)));
+        have_node = true;
+      } else if (field.rfind("x=", 0) == 0) {
+        event.wall_x = std::stod(field.substr(2));
+      } else if (field.rfind("pos=", 0) == 0) {
+        std::string coords = field.substr(4);
+        auto comma = coords.find(',');
+        if (comma == std::string::npos) bad_line(line, "pos= needs x,y");
+        event.position = {std::stod(coords.substr(0, comma)),
+                          std::stod(coords.substr(comma + 1))};
+      } else if (!have_kind) {
+        event.kind = fault_kind_from_name(field);
+        have_kind = true;
+      } else {
+        bad_line(line, "unrecognized field '" + field + "'");
+      }
+    } while (fields >> field);
+
+    if (!have_time) bad_line(line, "missing t=<seconds>");
+    if (!have_kind) bad_line(line, "missing event kind");
+    switch (event.kind) {
+      case FaultKind::kCrashStop:
+      case FaultKind::kCrashRecover:
+      case FaultKind::kRadioOutage:
+      case FaultKind::kRadioRestore:
+      case FaultKind::kLeave:
+        if (!have_node) bad_line(line, "missing node=<id>");
+        break;
+      case FaultKind::kPartition:
+      case FaultKind::kHeal:
+      case FaultKind::kJoin:
+        break;
+    }
+    schedule.events.push_back(event);
+  }
+  return schedule;
+}
+
+}  // namespace byzcast::sim

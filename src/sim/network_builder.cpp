@@ -7,6 +7,7 @@
 #include "mobility/random_walk.h"
 #include "mobility/random_waypoint.h"
 #include "mobility/static_mobility.h"
+#include "sim/fault_injector.h"
 
 namespace byzcast::sim {
 
@@ -149,6 +150,9 @@ Network::Network(const ScenarioConfig& config)
   senders_.assign(correct_.begin(),
                   correct_.begin() + static_cast<std::ptrdiff_t>(sender_count));
 
+  alive_.assign(n, true);
+  departed_.assign(n, false);
+
   // --- nodes ---------------------------------------------------------------------
   const std::size_t targets = correct_.size() - 1;
   switch (config.protocol) {
@@ -208,7 +212,17 @@ Network::Network(const ScenarioConfig& config)
       break;
     }
   }
+
+  // Constructed last so every scheduled fault finds a fully built network.
+  // Skipped entirely for empty schedules: the injector's mere existence
+  // (its catch-up poll timer, its scheduled events) would perturb the
+  // event sequence, and fault-free runs must stay trace-identical.
+  if (!config.fault_schedule.empty()) {
+    injector_ = std::make_unique<FaultInjector>(*this, config.fault_schedule);
+  }
 }
+
+Network::~Network() = default;
 
 core::ByzcastNode* Network::byzcast_node(NodeId node) {
   if (node >= byzcast_nodes_.size()) return nullptr;
@@ -224,6 +238,7 @@ void Network::broadcast_from(NodeId node, std::vector<std::uint8_t> payload) {
     throw std::invalid_argument(
         "broadcast_from: workload broadcasts must come from correct nodes");
   }
+  if (!alive_.at(node)) return;  // sender is down: the broadcast never happens
   switch (config_.protocol) {
     case ProtocolKind::kByzcast:
       byzcast_nodes_[node]->broadcast(std::move(payload));
@@ -235,6 +250,86 @@ void Network::broadcast_from(NodeId node, std::vector<std::uint8_t> payload) {
       multi_nodes_[node]->broadcast(std::move(payload));
       break;
   }
+}
+
+void Network::crash_node(NodeId node) {
+  if (!alive_.at(node)) return;
+  alive_[node] = false;
+  if (node < byzcast_nodes_.size() && byzcast_nodes_[node]) {
+    byzcast_nodes_[node]->stop();
+  }
+  medium_->set_attached(node, false);
+  metrics_.on_node_down(node, sim_.now());
+}
+
+void Network::recover_node(NodeId node) {
+  if (alive_.at(node) || departed_.at(node)) return;
+  alive_[node] = true;
+  medium_->set_attached(node, true);
+  if (node < byzcast_nodes_.size() && byzcast_nodes_[node]) {
+    byzcast_nodes_[node]->restart();
+  }
+  metrics_.on_node_up(node, sim_.now());
+}
+
+void Network::set_radio_attached(NodeId node, bool attached) {
+  if (medium_->attached(node) == attached) return;
+  medium_->set_attached(node, attached);
+  // A crashed node's downtime is already being accounted; only report
+  // outages of otherwise-live nodes.
+  if (!alive_.at(node)) return;
+  if (attached) {
+    metrics_.on_node_up(node, sim_.now());
+  } else {
+    metrics_.on_node_down(node, sim_.now());
+  }
+}
+
+void Network::partition_at(double wall_x) {
+  medium_->set_partition_wall(wall_x);
+}
+
+void Network::heal_partition() { medium_->clear_partition_wall(); }
+
+NodeId Network::join_node(geo::Vec2 position) {
+  if (config_.protocol != ProtocolKind::kByzcast) {
+    throw std::logic_error("join_node: churn is only modelled for byzcast");
+  }
+  auto id = static_cast<NodeId>(kinds_.size());
+  mobility_.push_back(std::make_unique<mobility::StaticMobility>(position));
+  radios_.push_back(std::make_unique<radio::Radio>(
+      *medium_, id, *mobility_.back(), config_.tx_range));
+  kinds_.push_back(byz::AdversaryKind::kNone);
+  alive_.push_back(true);
+  departed_.push_back(false);
+  crypto::Signer signer = pki_->register_node(id);
+  byzcast_nodes_.push_back(byz::make_adversary(
+      byz::AdversaryKind::kNone, sim_, *radios_.back(), *pki_, signer,
+      config_.protocol_config, &metrics_, config_.adversary_params));
+  // Its broadcasts target the tracked (seed-correct) nodes; it is not a
+  // target itself, so delivery ratios stay defined over seed membership.
+  byzcast_nodes_.back()->set_expected_targets(correct_.size());
+  if (config_.enable_trace) byzcast_nodes_.back()->set_trace(&trace_);
+  byzcast_nodes_.back()->start();
+  return id;
+}
+
+void Network::leave_node(NodeId node) {
+  if (departed_.at(node)) return;
+  departed_[node] = true;
+  crash_node(node);  // same mechanics, but recover_node now refuses it
+}
+
+bool Network::node_running(NodeId node) const {
+  return node < alive_.size() && alive_[node] && medium_->attached(node);
+}
+
+std::vector<NodeId> Network::live_correct_nodes() const {
+  std::vector<NodeId> live;
+  for (NodeId node : correct_) {
+    if (node_running(node)) live.push_back(node);
+  }
+  return live;
 }
 
 std::vector<NodeId> Network::overlay_members() const {

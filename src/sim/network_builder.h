@@ -25,10 +25,16 @@
 
 namespace byzcast::sim {
 
+class FaultInjector;
+
 class Network {
  public:
   /// Builds and starts everything. Nodes begin beaconing at time ~0.
+  /// When config.fault_schedule is non-empty a FaultInjector is armed;
+  /// otherwise none is constructed and the run is event-for-event
+  /// identical to a fault-free build.
   explicit Network(const ScenarioConfig& config);
+  ~Network();
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -39,8 +45,38 @@ class Network {
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
 
   /// Invokes the protocol-appropriate broadcast on `node` (must be
-  /// correct; broadcasting from a Byzantine node throws).
+  /// correct; broadcasting from a Byzantine node throws). A silent no-op
+  /// when `node` is currently crashed or departed, so scheduled workload
+  /// broadcasts survive fault schedules that take senders down.
   void broadcast_from(NodeId node, std::vector<std::uint8_t> payload);
+
+  // --- node lifecycle (driven by the FaultInjector; callable directly) -----
+  /// Crash-stop: halts the node's protocol code and detaches its radio.
+  /// Idempotent. For non-byzcast protocols only the radio detaches.
+  void crash_node(NodeId node);
+  /// Crash-recover: reattaches the radio and restarts the node with its
+  /// volatile state wiped (keys and sequence counter survive). No-op for
+  /// a node that is running or has departed.
+  void recover_node(NodeId node);
+  /// Radio outage / restore: the node's code keeps running but hears and
+  /// reaches nobody. Availability accounting treats it as down.
+  void set_radio_attached(NodeId node, bool attached);
+  /// Blocks every link crossing the vertical line x = wall_x.
+  void partition_at(double wall_x);
+  void heal_partition();
+  /// Churn (byzcast only): a fresh node id joins at `position`, runs the
+  /// honest protocol, and catches up like any late joiner. Joined nodes
+  /// are excluded from delivery metrics and the ground-truth analyses,
+  /// which are defined over the seed membership.
+  NodeId join_node(geo::Vec2 position);
+  /// Churn: `node` departs permanently. Counts as down for availability
+  /// from this point on.
+  void leave_node(NodeId node);
+  /// False while crashed, radio-detached or departed.
+  [[nodiscard]] bool node_running(NodeId node) const;
+  /// Seed-membership correct nodes currently running with an attached
+  /// radio — the reference set for catch-up measurement.
+  [[nodiscard]] std::vector<NodeId> live_correct_nodes() const;
 
   [[nodiscard]] std::size_t node_count() const { return kinds_.size(); }
   [[nodiscard]] const std::vector<NodeId>& correct_nodes() const {
@@ -89,6 +125,12 @@ class Network {
   std::vector<NodeId> correct_;
   std::vector<NodeId> byzantine_;
   std::vector<NodeId> senders_;
+  /// Per-node liveness: false while crashed or departed (radio detach is
+  /// tracked by the medium, not here).
+  std::vector<bool> alive_;
+  /// Permanently gone (kLeave) — recover_node refuses these.
+  std::vector<bool> departed_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace byzcast::sim

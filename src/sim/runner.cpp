@@ -1,5 +1,7 @@
 #include "sim/runner.h"
 
+#include <algorithm>
+
 namespace byzcast::sim {
 
 std::vector<std::uint8_t> make_payload(std::size_t index, std::size_t bytes) {
@@ -29,13 +31,25 @@ RunResult run_workload(Network& network) {
   des::SimDuration workload_span =
       static_cast<des::SimDuration>(config.num_broadcasts) *
       config.broadcast_interval;
-  sim.run_until(sim.now() + workload_span + config.cooldown);
+  // Keep the run alive through every scheduled fault (plus a cooldown so
+  // the last recovery gets its catch-up window) — a schedule reaching past
+  // the workload would otherwise be silently truncated.
+  des::SimTime end = std::max(sim.now() + workload_span + config.cooldown,
+                              config.fault_schedule.end_time() + config.cooldown);
+  sim.run_until(end);
 
   RunResult result;
   result.metrics = network.metrics();
   result.correct_count = network.correct_nodes().size();
   result.byzantine_count = network.byzantine_nodes().size();
   result.sim_seconds = des::to_seconds(sim.now());
+  result.availability =
+      network.node_count() == 0
+          ? 0
+          : network.metrics().node_seconds_available(sim.now(),
+                                                     network.node_count()) /
+                (static_cast<double>(network.node_count()) *
+                 des::to_seconds(sim.now()));
   if (config.protocol == ProtocolKind::kByzcast) {
     std::vector<NodeId> members = network.overlay_members();
     result.overlay_size_end = members.size();

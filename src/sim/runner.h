@@ -22,6 +22,9 @@ struct RunResult {
   std::size_t correct_count = 0;
   std::size_t byzantine_count = 0;
   double sim_seconds = 0;  ///< simulated time consumed
+  /// Fraction of node-seconds the nodes were up: 1.0 for fault-free runs,
+  /// lower when the fault schedule took nodes down.
+  double availability = 1.0;
 };
 
 /// Runs one scenario start to finish.

@@ -15,6 +15,7 @@
 #include "des/time.h"
 #include "geo/vec2.h"
 #include "radio/medium.h"
+#include "sim/fault.h"
 
 namespace byzcast::sim {
 
@@ -60,6 +61,12 @@ struct ScenarioConfig {
   /// Behaviour knobs shared by all adversaries in this scenario (onset
   /// time for kDelayedMute, forward probability, victim id, ...).
   byz::AdversaryParams adversary_params{};
+
+  // --- faults ---------------------------------------------------------------------
+  /// Timed benign-fault events (crashes, outages, partitions, churn)
+  /// executed by the FaultInjector. Empty = no injector is constructed at
+  /// all, so the run is trace-identical to a pre-fault-subsystem build.
+  FaultSchedule fault_schedule;
 
   // --- workload --------------------------------------------------------------------
   std::size_t num_broadcasts = 20;

@@ -1,5 +1,8 @@
 #include "stats/metrics.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 namespace byzcast::stats {
 
 const char* msg_kind_name(MsgKind kind) {
@@ -69,10 +72,47 @@ void Metrics::on_accept(MessageKey key, NodeId node, des::SimTime when) {
   }
   auto [pos, inserted] = it->second.accepted.emplace(node, when);
   if (!inserted) {
-    ++duplicate_accepts_;
+    // A node whose volatile state was wiped by a crash-recover cycle may
+    // re-accept what it accepted before the crash; the first accept
+    // stands and the repeat is not a validity violation.
+    if (crash_survivors_.count(node) == 0) ++duplicate_accepts_;
     return;
   }
   latency_.record(des::to_seconds(when - it->second.sent_at));
+}
+
+void Metrics::on_node_down(NodeId node, des::SimTime when) {
+  auto [it, inserted] = down_since_.emplace(node, when);
+  if (!inserted) return;  // already down
+  ++downtime_events_;
+}
+
+void Metrics::on_node_up(NodeId node, des::SimTime when) {
+  auto it = down_since_.find(node);
+  if (it == down_since_.end()) return;  // was not down
+  downtime_accum_ += when - it->second;
+  down_since_.erase(it);
+  crash_survivors_.insert(node);
+  ++recoveries_returned_;
+}
+
+void Metrics::on_catchup_complete(NodeId /*node*/, des::SimDuration latency) {
+  ++recoveries_completed_;
+  catchup_latency_.record(des::to_seconds(latency));
+}
+
+double Metrics::node_seconds_down(des::SimTime now) const {
+  des::SimDuration total = downtime_accum_;
+  for (const auto& [node, since] : down_since_) {
+    if (now > since) total += now - since;
+  }
+  return des::to_seconds(total);
+}
+
+double Metrics::node_seconds_available(des::SimTime now,
+                                       std::size_t node_count) const {
+  return static_cast<double>(node_count) * des::to_seconds(now) -
+         node_seconds_down(now);
 }
 
 double Metrics::delivery_ratio() const {
@@ -99,6 +139,44 @@ double Metrics::full_delivery_fraction() const {
   }
   return counted == 0 ? 0
                       : static_cast<double>(full) / static_cast<double>(counted);
+}
+
+std::string snapshot(const Metrics& metrics) {
+  // Fixed-width printf formatting keeps the dump locale-independent, and
+  // every container iterated here is an ordered std::map, so equal metric
+  // state always serialises to equal bytes.
+  std::string out;
+  char buf[192];
+  auto emit = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+  emit("frames sent=%" PRIu64 " delivered=%" PRIu64 " collided=%" PRIu64
+       " dropped=%" PRIu64 "\n",
+       metrics.frames_sent(), metrics.frames_delivered(),
+       metrics.frames_collided(), metrics.frames_dropped());
+  for (std::size_t i = 0; i < kMsgKindCount; ++i) {
+    auto kind = static_cast<MsgKind>(i);
+    emit("packets %s count=%" PRIu64 " bytes=%" PRIu64 "\n",
+         msg_kind_name(kind), metrics.packets(kind),
+         metrics.packet_bytes(kind));
+  }
+  emit("accepts duplicate=%" PRIu64 " unknown=%" PRIu64 "\n",
+       metrics.duplicate_accepts(), metrics.unknown_accepts());
+  emit("lifecycle down_events=%" PRIu64 " recoveries=%" PRIu64
+       " catchups=%" PRIu64 "\n",
+       metrics.downtime_events(), metrics.recoveries_returned(),
+       metrics.recoveries_completed());
+  for (const auto& [key, rec] : metrics.records()) {
+    emit("broadcast origin=%u seq=%u sent_at=%llu targets=%zu\n",
+         static_cast<unsigned>(key.origin), static_cast<unsigned>(key.seq),
+         static_cast<unsigned long long>(rec.sent_at), rec.targets);
+    for (const auto& [node, when] : rec.accepted) {
+      emit("  accept node=%u at=%llu\n", static_cast<unsigned>(node),
+           static_cast<unsigned long long>(when));
+    }
+  }
+  return out;
 }
 
 }  // namespace byzcast::stats

@@ -18,6 +18,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "des/time.h"
@@ -65,6 +66,18 @@ class Metrics {
   /// inflate delivery counts. Unset = count everyone.
   void set_tracked_accepts(std::vector<NodeId> nodes);
 
+  // --- node lifecycle (reported by the fault injector / Network) ----------
+  /// `node` went down (crash, radio outage, departure) at `when`.
+  void on_node_down(NodeId node, des::SimTime when);
+  /// `node` came back at `when`. A node that lost its volatile state may
+  /// legitimately re-accept messages it accepted before the crash; such
+  /// re-accepts are ignored (first accept wins) instead of being counted
+  /// as duplicate_accepts violations.
+  void on_node_up(NodeId node, des::SimTime when);
+  /// A recovered node regained every message the live correct nodes held
+  /// — `latency` is the time from recovery to holding them all.
+  void on_catchup_complete(NodeId node, des::SimDuration latency);
+
   // --- summaries ----------------------------------------------------------
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
   [[nodiscard]] std::uint64_t frames_delivered() const {
@@ -97,6 +110,31 @@ class Metrics {
     return unknown_accepts_;
   }
 
+  // --- availability & recovery (fault injection) --------------------------
+  /// Down events recorded (crashes, radio outages, departures).
+  [[nodiscard]] std::uint64_t downtime_events() const {
+    return downtime_events_;
+  }
+  /// Recoveries that returned (on_node_up) / that finished catching up.
+  [[nodiscard]] std::uint64_t recoveries_returned() const {
+    return recoveries_returned_;
+  }
+  [[nodiscard]] std::uint64_t recoveries_completed() const {
+    return recoveries_completed_;
+  }
+  /// Total node-seconds spent down up to `now` (closed intervals plus
+  /// still-open ones).
+  [[nodiscard]] double node_seconds_down(des::SimTime now) const;
+  /// Node-seconds of availability over [0, now] for `node_count` nodes:
+  /// node_count * now - node_seconds_down.
+  [[nodiscard]] double node_seconds_available(des::SimTime now,
+                                              std::size_t node_count) const;
+  /// Catch-up latencies (seconds): recovery -> holding every message the
+  /// live correct nodes held.
+  [[nodiscard]] const LatencyRecorder& catchup_latency() const {
+    return catchup_latency_;
+  }
+
   /// Per-broadcast accepted-node sets (for fine-grained assertions).
   struct BroadcastRecord {
     des::SimTime sent_at = 0;
@@ -122,6 +160,20 @@ class Metrics {
   LatencyRecorder latency_;
   std::uint64_t duplicate_accepts_ = 0;
   std::uint64_t unknown_accepts_ = 0;
+
+  std::map<NodeId, des::SimTime> down_since_;
+  std::set<NodeId> crash_survivors_;  ///< nodes that ever came back up
+  des::SimDuration downtime_accum_ = 0;
+  std::uint64_t downtime_events_ = 0;
+  std::uint64_t recoveries_returned_ = 0;
+  std::uint64_t recoveries_completed_ = 0;
+  LatencyRecorder catchup_latency_;
 };
+
+/// Deterministic plain-text dump of every counter and per-broadcast
+/// accept record — two runs of the same (ScenarioConfig, seed) must
+/// produce byte-identical snapshots (DESIGN.md §6); the determinism
+/// regression test diffs these.
+std::string snapshot(const Metrics& metrics);
 
 }  // namespace byzcast::stats
