@@ -4,12 +4,20 @@
 // protocol-level results by limiting feasible experiment sizes).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/message.h"
 #include "crypto/schnorr.h"
 #include "crypto/signature.h"
 #include "crypto/siphash.h"
 #include "des/event_queue.h"
 #include "des/rng.h"
+#include "des/simulator.h"
+#include "mobility/static_mobility.h"
+#include "radio/medium.h"
+#include "radio/propagation.h"
+#include "radio/radio.h"
+#include "util/bytes.h"
 
 namespace {
 
@@ -84,7 +92,7 @@ BENCHMARK(BM_EventQueueScheduleAndPop);
 void BM_DataSerializeParse(benchmark::State& state) {
   core::DataMsg msg;
   msg.id = {3, 17};
-  msg.payload.assign(256, 9);
+  msg.payload = std::vector<std::uint8_t>(256, 9);
   msg.sig = {0x1234};
   msg.gossip_sig = {0x5678};
   for (auto _ : state) {
@@ -93,6 +101,77 @@ void BM_DataSerializeParse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DataSerializeParse);
+
+// --- zero-copy pipeline benches (ISSUE 2) ----------------------------------
+// These report BufferStats deltas alongside wall time: allocations and
+// bytes memcpy'd per operation. They are the executable statement of the
+// copy-count invariant in DESIGN.md §5a.
+
+/// serialize + shared parse: exactly one allocation (the wire buffer) and
+/// zero byte copies per round trip — the parsed payload borrows a slice.
+void BM_ZeroCopySerializeParseShared(benchmark::State& state) {
+  core::DataMsg msg;
+  msg.id = {3, 17};
+  msg.payload = std::vector<std::uint8_t>(
+      static_cast<std::size_t>(state.range(0)), 9);
+  msg.sig = {0x1234};
+  msg.gossip_sig = {0x5678};
+  util::BufferStats::reset();
+  for (auto _ : state) {
+    util::Buffer wire = core::serialize(core::Packet{msg});
+    benchmark::DoNotOptimize(core::parse_packet_shared(wire));
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["allocs/op"] =
+      static_cast<double>(util::BufferStats::allocations) / iters;
+  state.counters["bytes_copied/op"] =
+      static_cast<double>(util::BufferStats::bytes_copied) / iters;
+  if (util::BufferStats::bytes_copied != 0) {
+    state.SkipWithError("shared parse copied payload bytes");
+  }
+}
+BENCHMARK(BM_ZeroCopySerializeParseShared)->Arg(64)->Arg(1024)->Arg(16384);
+
+/// Medium fan-out to N in-range receivers: the delivered frames all share
+/// the transmitted buffer — zero allocations and zero byte copies per
+/// receiver, regardless of payload size.
+void BM_ZeroCopyMediumFanout(benchmark::State& state) {
+  const auto receivers = static_cast<std::size_t>(state.range(0));
+  des::Simulator sim(1);
+  radio::MediumConfig config;
+  config.tx_jitter_max = 0;
+  config.collisions_enabled = false;  // isolate the fan-out path
+  radio::Medium medium(sim, std::make_unique<radio::UnitDisk>(), config);
+  std::vector<std::unique_ptr<mobility::StaticMobility>> mobility;
+  std::vector<std::unique_ptr<radio::Radio>> radios;
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < receivers + 1; ++i) {
+    // Everyone within range 100 of the sender at the origin.
+    mobility.push_back(std::make_unique<mobility::StaticMobility>(
+        geo::Vec2{static_cast<double>(i % 10), static_cast<double>(i / 10)}));
+    radios.push_back(std::make_unique<radio::Radio>(
+        medium, static_cast<NodeId>(i), *mobility.back(), 100.0));
+    radios.back()->set_receive_handler(
+        [&delivered](const radio::Frame&) { ++delivered; });
+  }
+  util::Buffer payload(std::vector<std::uint8_t>(256, 7));
+  util::BufferStats::reset();
+  for (auto _ : state) {
+    radios[0]->send(payload);  // refcount bump, no byte copy
+    sim.run_until(sim.now() + des::seconds(1));
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["deliveries/op"] = static_cast<double>(delivered) / iters;
+  state.counters["allocs/op"] =
+      static_cast<double>(util::BufferStats::allocations) / iters;
+  state.counters["bytes_copied/op"] =
+      static_cast<double>(util::BufferStats::bytes_copied) / iters;
+  if (util::BufferStats::bytes_copied != 0 ||
+      util::BufferStats::allocations != 0) {
+    state.SkipWithError("fan-out copied or reallocated payload bytes");
+  }
+}
+BENCHMARK(BM_ZeroCopyMediumFanout)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_RngNextBelow(benchmark::State& state) {
   des::Rng rng(1);

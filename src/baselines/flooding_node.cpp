@@ -1,23 +1,12 @@
 #include "baselines/flooding_node.h"
 
+#include "core/message.h"  // kMaxPayloadBytes: one payload cap for all stacks
 #include "util/bytes.h"
 
 namespace byzcast::baselines {
 
 namespace {
 constexpr std::uint8_t kFloodType = 0x10;
-constexpr std::size_t kMaxPayload = 64 * 1024;
-
-void write_sig(util::ByteWriter& w, crypto::Signature sig) {
-  w.u64(sig.tag);
-  for (std::size_t i = 8; i < crypto::kWireSignatureBytes; ++i) w.u8(0);
-}
-
-crypto::Signature read_sig(util::ByteReader& r) {
-  crypto::Signature sig{r.u64()};
-  for (std::size_t i = 8; i < crypto::kWireSignatureBytes; ++i) r.u8();
-  return sig;
-}
 }  // namespace
 
 std::vector<std::uint8_t> FloodingNode::sign_bytes(
@@ -30,27 +19,30 @@ std::vector<std::uint8_t> FloodingNode::sign_bytes(
   return w.take();
 }
 
-std::vector<std::uint8_t> FloodingNode::serialize(const FloodPacket& packet) {
+util::Buffer FloodingNode::serialize(const FloodPacket& packet) {
   util::ByteWriter w;
   w.u8(kFloodType);
   w.u32(packet.origin);
   w.u32(packet.seq);
   w.bytes(packet.payload);
-  write_sig(w, packet.sig);
-  return w.take();
+  crypto::write_wire_signature(w, packet.sig);
+  return w.take_buffer();
 }
 
 std::optional<FloodingNode::FloodPacket> FloodingNode::parse(
-    std::span<const std::uint8_t> bytes) {
-  util::ByteReader r(bytes);
+    const util::Buffer& bytes) {
+  util::ByteReader r(bytes.span());
   if (r.u8() != kFloodType) return std::nullopt;
   FloodPacket packet;
   packet.origin = r.u32();
   packet.seq = r.u32();
-  packet.payload = r.bytes();
-  if (packet.payload.size() > kMaxPayload) return std::nullopt;
-  packet.sig = read_sig(r);
+  std::size_t payload_offset = r.pos() + 4;  // past the length prefix
+  std::span<const std::uint8_t> payload = r.bytes_view();
+  if (!r.ok() || payload.size() > core::kMaxPayloadBytes) return std::nullopt;
+  packet.sig = crypto::read_wire_signature(r);
   if (!r.done()) return std::nullopt;
+  packet.payload = bytes.slice(payload_offset, payload.size());
+  packet.wire = bytes;
   return packet;
 }
 
@@ -69,7 +61,10 @@ FloodingNode::FloodingNode(des::Simulator& sim, radio::Radio& radio,
 }
 
 void FloodingNode::send_flood(const FloodPacket& packet) {
-  std::vector<std::uint8_t> bytes = serialize(packet);
+  // Forwarded packets carry the frame bytes they arrived in; only a
+  // freshly built packet pays for a serialization.
+  util::Buffer bytes =
+      packet.wire.empty() ? serialize(packet) : packet.wire;
   if (metrics_ != nullptr) {
     metrics_->on_packet_sent(stats::MsgKind::kData, bytes.size());
   }
@@ -83,6 +78,7 @@ void FloodingNode::broadcast(std::vector<std::uint8_t> payload) {
   packet.payload = std::move(payload);
   packet.sig = signer_.sign(sign_bytes(packet.origin, packet.seq,
                                        packet.payload));
+  packet.wire = serialize(packet);
   seen_.emplace(packet.origin, packet.seq);
   if (metrics_ != nullptr) {
     metrics_->on_broadcast(stats::MessageKey{packet.origin, packet.seq},

@@ -47,12 +47,16 @@ class FloodingNode {
   struct FloodPacket {
     NodeId origin = kInvalidNode;
     std::uint32_t seq = 0;
-    std::vector<std::uint8_t> payload;
+    util::Buffer payload;
     crypto::Signature sig;
+    /// Serialized bytes of this packet — the frame it arrived in, or the
+    /// buffer it was serialized into. Forwarding re-sends these verbatim.
+    util::Buffer wire;
   };
-  static std::vector<std::uint8_t> serialize(const FloodPacket& packet);
-  static std::optional<FloodPacket> parse(
-      std::span<const std::uint8_t> bytes);
+  static util::Buffer serialize(const FloodPacket& packet);
+  /// Parses from a shared buffer; the packet borrows its payload and
+  /// keeps `bytes` as its wire form (see core::parse_packet_shared).
+  static std::optional<FloodPacket> parse(const util::Buffer& bytes);
   static std::vector<std::uint8_t> sign_bytes(
       NodeId origin, std::uint32_t seq, std::span<const std::uint8_t> payload);
 

@@ -4,24 +4,13 @@
 #include <stdexcept>
 
 #include "baselines/flooding_node.h"
+#include "core/message.h"  // kMaxPayloadBytes: one payload cap for all stacks
 #include "util/bytes.h"
 
 namespace byzcast::baselines {
 
 namespace {
 constexpr std::uint8_t kCopyType = 0x11;
-constexpr std::size_t kMaxPayload = 64 * 1024;
-
-void write_sig(util::ByteWriter& w, crypto::Signature sig) {
-  w.u64(sig.tag);
-  for (std::size_t i = 8; i < crypto::kWireSignatureBytes; ++i) w.u8(0);
-}
-
-crypto::Signature read_sig(util::ByteReader& r) {
-  crypto::Signature sig{r.u64()};
-  for (std::size_t i = 8; i < crypto::kWireSignatureBytes; ++i) r.u8();
-  return sig;
-}
 }  // namespace
 
 namespace {
@@ -147,30 +136,32 @@ std::vector<std::set<NodeId>> compute_disjoint_overlays(
   return overlays;
 }
 
-std::vector<std::uint8_t> MultiOverlayNode::serialize(
-    const CopyPacket& packet) {
+util::Buffer MultiOverlayNode::serialize(const CopyPacket& packet) {
   util::ByteWriter w;
   w.u8(kCopyType);
   w.u8(packet.overlay);
   w.u32(packet.origin);
   w.u32(packet.seq);
   w.bytes(packet.payload);
-  write_sig(w, packet.sig);
-  return w.take();
+  crypto::write_wire_signature(w, packet.sig);
+  return w.take_buffer();
 }
 
 std::optional<MultiOverlayNode::CopyPacket> MultiOverlayNode::parse(
-    std::span<const std::uint8_t> bytes) {
-  util::ByteReader r(bytes);
+    const util::Buffer& bytes) {
+  util::ByteReader r(bytes.span());
   if (r.u8() != kCopyType) return std::nullopt;
   CopyPacket packet;
   packet.overlay = r.u8();
   packet.origin = r.u32();
   packet.seq = r.u32();
-  packet.payload = r.bytes();
-  if (packet.payload.size() > kMaxPayload) return std::nullopt;
-  packet.sig = read_sig(r);
+  std::size_t payload_offset = r.pos() + 4;  // past the length prefix
+  std::span<const std::uint8_t> payload = r.bytes_view();
+  if (!r.ok() || payload.size() > core::kMaxPayloadBytes) return std::nullopt;
+  packet.sig = crypto::read_wire_signature(r);
   if (!r.done()) return std::nullopt;
+  packet.payload = bytes.slice(payload_offset, payload.size());
+  packet.wire = bytes;
   return packet;
 }
 
@@ -195,7 +186,10 @@ MultiOverlayNode::MultiOverlayNode(des::Simulator& sim, radio::Radio& radio,
 }
 
 void MultiOverlayNode::send_copy(const CopyPacket& packet) {
-  std::vector<std::uint8_t> bytes = serialize(packet);
+  // A forwarded copy re-sends the frame bytes it arrived in; only a
+  // freshly built copy (or a new overlay tag) pays for a serialization.
+  util::Buffer bytes =
+      packet.wire.empty() ? serialize(packet) : packet.wire;
   if (metrics_ != nullptr) {
     metrics_->on_packet_sent(stats::MsgKind::kData, bytes.size());
   }
@@ -215,9 +209,12 @@ void MultiOverlayNode::broadcast(std::vector<std::uint8_t> payload) {
     metrics_->on_broadcast(stats::MessageKey{packet.origin, packet.seq},
                            sim_.now(), targets_);
   }
-  // "Every message has to be sent f+1 times": one copy per overlay.
+  // "Every message has to be sent f+1 times": one copy per overlay. The
+  // wire bytes differ per copy (the overlay tag is on the wire), so each
+  // gets its own serialization.
   for (std::size_t i = 0; i < memberships_.size(); ++i) {
     packet.overlay = static_cast<std::uint8_t>(i);
+    packet.wire = serialize(packet);
     forwarded_.emplace(packet.origin, packet.seq, packet.overlay);
     send_copy(packet);
   }

@@ -68,11 +68,14 @@ class MultiOverlayNode {
     std::uint8_t overlay = 0;
     NodeId origin = kInvalidNode;
     std::uint32_t seq = 0;
-    std::vector<std::uint8_t> payload;
+    util::Buffer payload;
     crypto::Signature sig;  ///< over (origin, seq, payload) — shared by copies
+    /// Serialized bytes of this copy (overlay tag included) — shared with
+    /// the frame it arrived in, re-sent verbatim when forwarding.
+    util::Buffer wire;
   };
-  static std::vector<std::uint8_t> serialize(const CopyPacket& packet);
-  static std::optional<CopyPacket> parse(std::span<const std::uint8_t> bytes);
+  static util::Buffer serialize(const CopyPacket& packet);
+  static std::optional<CopyPacket> parse(const util::Buffer& bytes);
 
  protected:
   /// Overridden by Byzantine variants (drop instead of forward).

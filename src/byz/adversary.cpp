@@ -161,14 +161,19 @@ void LiarAdversary::handle_data(const core::DataMsg& msg, NodeId /*from*/) {
   if (!verify_data(msg)) return;
   store_.insert(msg, sim_.now());
   // Forward with one byte flipped but the original signature: every
-  // correct receiver must reject it and suspect us.
+  // correct receiver must reject it and suspect us. The shared payload
+  // buffer is immutable, so the tampered copy gets its own bytes — and
+  // the stale wire cache must go with them.
   core::DataMsg tampered = msg;
   tampered.ttl = 1;
-  if (tampered.payload.empty()) {
-    tampered.payload.push_back(0xff);
+  tampered.wire = {};
+  std::vector<std::uint8_t> bytes(msg.payload.begin(), msg.payload.end());
+  if (bytes.empty()) {
+    bytes.push_back(0xff);
   } else {
-    tampered.payload[0] ^= 0xff;
+    bytes[0] ^= 0xff;
   }
+  tampered.payload = std::move(bytes);
   send_packet(tampered);
 }
 
@@ -407,6 +412,7 @@ void ReplayerAdversary::replay() {
   core::DataMsg replayed =
       recorded_[rng_.next_below(recorded_.size())];
   replayed.ttl = 1;
+  replayed.wire = {};  // recorded at a possibly different ttl
   send_packet(replayed);
 }
 

@@ -134,9 +134,12 @@ std::vector<NodeId> ByzcastNode::overlay_neighbors() const {
 }
 
 void ByzcastNode::send_packet(const Packet& packet) {
-  std::vector<std::uint8_t> bytes = serialize(packet);
+  send_frame(to_msg_kind(packet_type(packet)), serialize(packet));
+}
+
+void ByzcastNode::send_frame(stats::MsgKind kind, util::Buffer bytes) {
   if (metrics_ != nullptr) {
-    metrics_->on_packet_sent(to_msg_kind(packet_type(packet)), bytes.size());
+    metrics_->on_packet_sent(kind, bytes.size());
   }
   radio_.send(std::move(bytes));
 }
@@ -163,6 +166,8 @@ void ByzcastNode::broadcast(std::vector<std::uint8_t> payload) {
   msg.payload = std::move(payload);
   msg.sig = signer_.sign(data_sign_bytes(mid, msg.payload));
   msg.gossip_sig = signer_.sign(gossip_sign_bytes(mid));
+  msg.wire = serialize(msg);  // one serialization; the store and the
+                              // radio share these bytes from here on
 
   store_.insert(msg, sim_.now());
   store_.mark_accepted(mid);  // we never re-accept our own message
@@ -172,7 +177,7 @@ void ByzcastNode::broadcast(std::vector<std::uint8_t> payload) {
                            targets_);
   }
   trace_event(trace::EventKind::kBroadcast, kInvalidNode, mid);
-  send_packet(msg);                       // line 3: broadcast(message, DATA)
+  send_frame(stats::MsgKind::kData, msg.wire);  // line 3: broadcast(m, DATA)
   gossip_queue_.enqueue(msg.gossip_entry());  // line 4: lazycast(gossip)
 }
 
@@ -183,7 +188,7 @@ void ByzcastNode::on_frame(const radio::Frame& frame) {
   // A frame already in flight when the node crashed may still be
   // delivered by the medium this tick; a halted node hears nothing.
   if (!running_) return;
-  std::optional<Packet> packet = parse_packet(frame.payload);
+  std::optional<Packet> packet = parse_packet_shared(frame.payload);
   if (!packet) {
     // Unparseable bytes from a known transmitter: locally observable
     // protocol violation.
@@ -254,16 +259,17 @@ void ByzcastNode::accept_and_forward(const DataMsg& msg, NodeId from) {
   }
 
   // Lines 12-18: overlay nodes forward; a ttl=2 recovery copy is relayed
-  // one more hop even by non-overlay nodes.
+  // one more hop even by non-overlay nodes. The forward re-sends the
+  // stored wire bytes (the received frame itself when its ttl was 1).
   if (active_) {
     trace_event(trace::EventKind::kForward, from, msg.id);
-    DataMsg fwd = msg;
-    fwd.ttl = 1;
-    send_packet(fwd);
+    if (MessageStore::Stored* s = store_.find(msg.id)) {
+      send_frame(stats::MsgKind::kData, s->wire(1));
+    }
   } else if (msg.ttl == 2) {
-    DataMsg fwd = msg;
-    fwd.ttl = 1;
-    send_packet(fwd);
+    if (MessageStore::Stored* s = store_.find(msg.id)) {
+      send_frame(stats::MsgKind::kData, s->wire(1));
+    }
   }
 
   // Lines 19-21 + footnote 5: start lazycasting the gossip for this
@@ -446,9 +452,7 @@ void ByzcastNode::reply_with_stored(const MessageId& id_, std::uint8_t ttl) {
   }
   stored->last_reply = sim_.now();
   trace_event(trace::EventKind::kRetransmission, kInvalidNode, id_);
-  DataMsg reply = stored->msg;
-  reply.ttl = ttl;
-  send_packet(reply);
+  send_frame(stats::MsgKind::kData, stored->wire(ttl));
 }
 
 // ---------------------------------------------------------------------------

@@ -122,6 +122,10 @@ class ByzcastNode {
 
   // --- helpers shared with adversaries --------------------------------------
   void send_packet(const Packet& packet);
+  /// The single byte-accounting funnel: every outgoing buffer — freshly
+  /// serialized or replayed from a store/frame cache — passes through
+  /// here exactly once on its way to the radio.
+  void send_frame(stats::MsgKind kind, util::Buffer bytes);
   /// Sends DATA for a stored message with the given ttl, honouring the
   /// reply-suppression window. No-op if not stored.
   void reply_with_stored(const MessageId& id, std::uint8_t ttl);

@@ -5,21 +5,16 @@ namespace byzcast::core {
 namespace {
 
 // Caps that bound what a Byzantine sender can make us allocate.
-constexpr std::size_t kMaxPayload = 64 * 1024;
 constexpr std::size_t kMaxGossipEntries = 256;
 constexpr std::size_t kMaxNeighborList = 4096;
 constexpr std::size_t kMaxStabilityEntries = 512;
 
-void write_sig(util::ByteWriter& w, crypto::Signature sig) {
-  w.u64(sig.tag);
-  // Pad to the DSA wire size (crypto/signature.h).
-  for (std::size_t i = 8; i < crypto::kWireSignatureBytes; ++i) w.u8(0);
-}
-
-crypto::Signature read_sig(util::ByteReader& r) {
-  crypto::Signature sig{r.u64()};
-  for (std::size_t i = 8; i < crypto::kWireSignatureBytes; ++i) r.u8();
-  return sig;
+// Strict bool: only 0/1 are canonical. Any other byte must fail the
+// parse, or an accepted packet would re-serialize to different bytes.
+bool read_bool(util::ByteReader& r) {
+  std::uint8_t v = r.u8();
+  if (v > 1) r.fail();
+  return v == 1;
 }
 
 void write_id(util::ByteWriter& w, const MessageId& id) {
@@ -36,13 +31,13 @@ MessageId read_id(util::ByteReader& r) {
 
 void write_entry(util::ByteWriter& w, const GossipEntry& e) {
   write_id(w, e.id);
-  write_sig(w, e.origin_sig);
+  crypto::write_wire_signature(w, e.origin_sig);
 }
 
 GossipEntry read_entry(util::ByteReader& r) {
   GossipEntry e;
   e.id = read_id(r);
-  e.origin_sig = read_sig(r);
+  e.origin_sig = crypto::read_wire_signature(r);
   return e;
 }
 
@@ -83,6 +78,98 @@ std::optional<std::vector<NodeId>> read_node_list(util::ByteReader& r) {
   for (std::uint32_t i = 0; i < count; ++i) nodes.push_back(r.u32());
   if (!r.ok()) return std::nullopt;
   return nodes;
+}
+
+std::optional<HelloMsg> read_hello_fields(util::ByteReader& r) {
+  HelloMsg hello;
+  hello.from = r.u32();
+  hello.active = read_bool(r);
+  hello.dominator = read_bool(r);
+  auto neighbors = read_node_list(r);
+  auto dominator_neighbors = read_node_list(r);
+  auto suspects = read_node_list(r);
+  if (!neighbors || !dominator_neighbors || !suspects) return std::nullopt;
+  hello.neighbors = std::move(*neighbors);
+  hello.dominator_neighbors = std::move(*dominator_neighbors);
+  hello.suspects = std::move(*suspects);
+  auto stability = read_stability(r);
+  if (!stability) return std::nullopt;
+  hello.stability = std::move(*stability);
+  hello.sig = crypto::read_wire_signature(r);
+  return hello;
+}
+
+// One parser for both entry points. `source` is the shared buffer the
+// bytes live in when parsing off the receive path (nullptr when parsing a
+// transient view): with a source, a DataMsg borrows its payload as a
+// slice and remembers the whole frame in `wire`; without one it copies.
+std::optional<Packet> parse_packet_impl(std::span<const std::uint8_t> bytes,
+                                        const util::Buffer* source) {
+  util::ByteReader r(bytes);
+  auto type = r.u8();
+  if (!r.ok()) return std::nullopt;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kData: {
+      DataMsg m;
+      m.id = read_id(r);
+      m.ttl = r.u8();
+      if (!r.ok()) return std::nullopt;
+      std::size_t payload_offset = r.pos() + 4;  // past the length prefix
+      std::span<const std::uint8_t> payload = r.bytes_view();
+      if (!r.ok() || payload.size() > kMaxPayloadBytes) return std::nullopt;
+      m.sig = crypto::read_wire_signature(r);
+      m.gossip_sig = crypto::read_wire_signature(r);
+      if (!r.done()) return std::nullopt;
+      if (source != nullptr) {
+        m.payload = source->slice(payload_offset, payload.size());
+        m.wire = *source;
+      } else {
+        m.payload = util::Buffer::copy_of(payload);
+      }
+      return Packet{std::move(m)};
+    }
+    case MsgType::kGossip: {
+      GossipMsg m;
+      std::uint32_t count = r.u32();
+      if (!r.ok() || count > kMaxGossipEntries) return std::nullopt;
+      m.entries.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        m.entries.push_back(read_entry(r));
+      }
+      std::uint8_t has_hello = r.u8();
+      if (!r.ok() || has_hello > 1) return std::nullopt;
+      if (has_hello == 1) {
+        auto hello = read_hello_fields(r);
+        if (!hello) return std::nullopt;
+        m.hello = std::move(*hello);
+      }
+      if (!r.done()) return std::nullopt;
+      return Packet{std::move(m)};
+    }
+    case MsgType::kRequestMsg: {
+      RequestMsg m;
+      m.entry = read_entry(r);
+      m.target = r.u32();
+      if (!r.done()) return std::nullopt;
+      return Packet{std::move(m)};
+    }
+    case MsgType::kFindMissingMsg: {
+      FindMissingMsg m;
+      m.entry = read_entry(r);
+      m.gossiper = r.u32();
+      m.issuer = r.u32();
+      m.ttl = r.u8();
+      if (!r.done()) return std::nullopt;
+      return Packet{std::move(m)};
+    }
+    case MsgType::kHello: {
+      auto hello = read_hello_fields(r);
+      if (!hello || !r.done()) return std::nullopt;
+      return Packet{std::move(*hello)};
+    }
+    default:
+      return std::nullopt;
+  }
 }
 
 }  // namespace
@@ -147,7 +234,7 @@ MsgType packet_type(const Packet& packet) {
       packet);
 }
 
-std::vector<std::uint8_t> serialize(const Packet& packet) {
+util::Buffer serialize(const Packet& packet) {
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(packet_type(packet)));
   std::visit(
@@ -157,8 +244,8 @@ std::vector<std::uint8_t> serialize(const Packet& packet) {
           write_id(w, p.id);
           w.u8(p.ttl);
           w.bytes(p.payload);
-          write_sig(w, p.sig);
-          write_sig(w, p.gossip_sig);
+          crypto::write_wire_signature(w, p.sig);
+          crypto::write_wire_signature(w, p.gossip_sig);
         } else if constexpr (std::is_same_v<T, GossipMsg>) {
           w.u32(static_cast<std::uint32_t>(p.entries.size()));
           for (const GossipEntry& e : p.entries) write_entry(w, e);
@@ -171,7 +258,7 @@ std::vector<std::uint8_t> serialize(const Packet& packet) {
             write_node_list(w, p.hello->dominator_neighbors);
             write_node_list(w, p.hello->suspects);
             write_stability(w, p.hello->stability);
-            write_sig(w, p.hello->sig);
+            crypto::write_wire_signature(w, p.hello->sig);
           }
         } else if constexpr (std::is_same_v<T, RequestMsg>) {
           write_entry(w, p.entry);
@@ -189,104 +276,19 @@ std::vector<std::uint8_t> serialize(const Packet& packet) {
           write_node_list(w, p.dominator_neighbors);
           write_node_list(w, p.suspects);
           write_stability(w, p.stability);
-          write_sig(w, p.sig);
+          crypto::write_wire_signature(w, p.sig);
         }
       },
       packet);
-  return w.take();
+  return w.take_buffer();
 }
 
 std::optional<Packet> parse_packet(std::span<const std::uint8_t> bytes) {
-  util::ByteReader r(bytes);
-  auto type = r.u8();
-  if (!r.ok()) return std::nullopt;
-  switch (static_cast<MsgType>(type)) {
-    case MsgType::kData: {
-      DataMsg m;
-      m.id = read_id(r);
-      m.ttl = r.u8();
-      {
-        // Bound payload size before materializing it.
-        if (!r.ok()) return std::nullopt;
-        m.payload = r.bytes();
-        if (m.payload.size() > kMaxPayload) return std::nullopt;
-      }
-      m.sig = read_sig(r);
-      m.gossip_sig = read_sig(r);
-      if (!r.done()) return std::nullopt;
-      return Packet{std::move(m)};
-    }
-    case MsgType::kGossip: {
-      GossipMsg m;
-      std::uint32_t count = r.u32();
-      if (!r.ok() || count > kMaxGossipEntries) return std::nullopt;
-      m.entries.reserve(count);
-      for (std::uint32_t i = 0; i < count; ++i) {
-        m.entries.push_back(read_entry(r));
-      }
-      std::uint8_t has_hello = r.u8();
-      if (!r.ok() || has_hello > 1) return std::nullopt;
-      if (has_hello == 1) {
-        HelloMsg hello;
-        hello.from = r.u32();
-        hello.active = r.u8() != 0;
-        hello.dominator = r.u8() != 0;
-        auto neighbors = read_node_list(r);
-        auto dominator_neighbors = read_node_list(r);
-        auto suspects = read_node_list(r);
-        if (!neighbors || !dominator_neighbors || !suspects) {
-          return std::nullopt;
-        }
-        hello.neighbors = std::move(*neighbors);
-        hello.dominator_neighbors = std::move(*dominator_neighbors);
-        hello.suspects = std::move(*suspects);
-        auto stability = read_stability(r);
-        if (!stability) return std::nullopt;
-        hello.stability = std::move(*stability);
-        hello.sig = read_sig(r);
-        m.hello = std::move(hello);
-      }
-      if (!r.done()) return std::nullopt;
-      return Packet{std::move(m)};
-    }
-    case MsgType::kRequestMsg: {
-      RequestMsg m;
-      m.entry = read_entry(r);
-      m.target = r.u32();
-      if (!r.done()) return std::nullopt;
-      return Packet{std::move(m)};
-    }
-    case MsgType::kFindMissingMsg: {
-      FindMissingMsg m;
-      m.entry = read_entry(r);
-      m.gossiper = r.u32();
-      m.issuer = r.u32();
-      m.ttl = r.u8();
-      if (!r.done()) return std::nullopt;
-      return Packet{std::move(m)};
-    }
-    case MsgType::kHello: {
-      HelloMsg m;
-      m.from = r.u32();
-      m.active = r.u8() != 0;
-      m.dominator = r.u8() != 0;
-      auto neighbors = read_node_list(r);
-      auto dominator_neighbors = read_node_list(r);
-      auto suspects = read_node_list(r);
-      if (!neighbors || !dominator_neighbors || !suspects) return std::nullopt;
-      m.neighbors = std::move(*neighbors);
-      m.dominator_neighbors = std::move(*dominator_neighbors);
-      m.suspects = std::move(*suspects);
-      auto stability = read_stability(r);
-      if (!stability) return std::nullopt;
-      m.stability = std::move(*stability);
-      m.sig = read_sig(r);
-      if (!r.done()) return std::nullopt;
-      return Packet{std::move(m)};
-    }
-    default:
-      return std::nullopt;
-  }
+  return parse_packet_impl(bytes, nullptr);
+}
+
+std::optional<Packet> parse_packet_shared(const util::Buffer& bytes) {
+  return parse_packet_impl(bytes.span(), &bytes);
 }
 
 }  // namespace byzcast::core

@@ -22,7 +22,10 @@
 // crypto/signature.h.
 //
 // Parsing is total: `parse_packet` returns std::nullopt on any malformed
-// input (Byzantine nodes control every payload byte).
+// input (Byzantine nodes control every payload byte). It is also strict:
+// an accepted byte string re-serializes to exactly itself (bools must be
+// 0/1, signature padding must be zero, no trailing bytes), which is what
+// lets the zero-copy path retransmit received frame bytes verbatim.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +39,10 @@
 #include "util/node_id.h"
 
 namespace byzcast::core {
+
+/// Largest application payload a DATA (or baseline flood) packet may
+/// carry; parsers reject anything bigger before allocating.
+inline constexpr std::size_t kMaxPayloadBytes = 64 * 1024;
 
 enum class MsgType : std::uint8_t {
   kData = 1,
@@ -64,9 +71,16 @@ struct GossipEntry {
 struct DataMsg {
   MessageId id;
   std::uint8_t ttl = 1;
-  std::vector<std::uint8_t> payload;
+  util::Buffer payload;
   crypto::Signature sig;         ///< originator over (origin, seq, payload)
   crypto::Signature gossip_sig;  ///< originator over (origin, seq)
+
+  /// Full serialized packet bytes for this message *at this ttl* —
+  /// shared with the frame it arrived in (parse_packet_shared) or with
+  /// the frame it went out on (broadcast). Empty when unknown; anyone
+  /// mutating ttl or payload on a copy must clear it. Retransmission
+  /// paths use it to re-send the original bytes without re-serializing.
+  util::Buffer wire;
 
   [[nodiscard]] GossipEntry gossip_entry() const { return {id, gossip_sig}; }
 };
@@ -118,8 +132,21 @@ std::vector<std::uint8_t> gossip_sign_bytes(const MessageId& id);
 /// Bytes a HELLO signature covers (everything but the signature).
 std::vector<std::uint8_t> hello_sign_bytes(const HelloMsg& hello);
 
-std::vector<std::uint8_t> serialize(const Packet& packet);
+/// Serializes into one immutable shared buffer — the only allocation a
+/// packet's bytes ever make; radio, medium and store all share it.
+util::Buffer serialize(const Packet& packet);
+
+/// Parses a packet from a borrowed view. A parsed DataMsg owns a fresh
+/// copy of its payload (the view may die with the caller's stack).
 std::optional<Packet> parse_packet(std::span<const std::uint8_t> bytes);
+
+/// Parses a packet from a shared buffer (the receive path). A parsed
+/// DataMsg *borrows* its payload as a slice of `bytes` — zero copy — and
+/// carries `bytes` itself in DataMsg::wire for verbatim retransmission.
+/// Distinct name, not an overload: both std::vector -> std::span and
+/// std::vector -> Buffer are user conversions, so overloading would make
+/// `parse_packet(some_vector)` ambiguous.
+std::optional<Packet> parse_packet_shared(const util::Buffer& bytes);
 
 [[nodiscard]] MsgType packet_type(const Packet& packet);
 

@@ -2,10 +2,30 @@
 
 namespace byzcast::core {
 
+util::Buffer MessageStore::Stored::wire(std::uint8_t ttl) {
+  if (ttl < 1 || ttl > 2) ttl = 1;
+  util::Buffer& cached = wire_by_ttl_[ttl - 1];
+  if (cached.empty()) {
+    DataMsg copy = msg;
+    copy.ttl = ttl;
+    copy.wire = {};
+    cached = serialize(Packet{std::move(copy)});
+  }
+  return cached;
+}
+
 bool MessageStore::insert(DataMsg msg, des::SimTime now) {
   MessageId id = msg.id;
-  auto [it, inserted] =
-      stored_.emplace(id, Stored{std::move(msg), now, false, 0, now});
+  Stored entry;
+  entry.msg = std::move(msg);
+  entry.received_at = now;
+  entry.last_seen = now;
+  // The frame bytes the message arrived (or went out) in serve as the
+  // ready-made retransmission for the same ttl.
+  if (!entry.msg.wire.empty() && entry.msg.ttl >= 1 && entry.msg.ttl <= 2) {
+    entry.wire_by_ttl_[entry.msg.ttl - 1] = entry.msg.wire;
+  }
+  auto [it, inserted] = stored_.emplace(id, std::move(entry));
   return inserted;
 }
 

@@ -33,6 +33,17 @@ class MessageStore {
     /// duplicate) — recovery replies are suppressed while a copy is
     /// fresh, the standard broadcast-storm damper.
     des::SimTime last_seen = 0;
+
+    /// Serialized DATA bytes for this message at `ttl` (1 or 2), ready to
+    /// hand straight to the radio. Seeded from the frame the message
+    /// arrived in (DataMsg::wire) when the ttl matches, so a reply
+    /// usually re-sends the original bytes; a ttl the store has never
+    /// seen is serialized once on first use and cached.
+    [[nodiscard]] util::Buffer wire(std::uint8_t ttl);
+
+   private:
+    friend class MessageStore;
+    util::Buffer wire_by_ttl_[2];  // index ttl - 1
   };
 
   /// Inserts a verified message. Returns false if already present.

@@ -4,6 +4,19 @@
 
 namespace byzcast::crypto {
 
+void write_wire_signature(util::ByteWriter& w, Signature sig) {
+  w.u64(sig.tag);
+  for (std::size_t i = 8; i < kWireSignatureBytes; ++i) w.u8(0);
+}
+
+Signature read_wire_signature(util::ByteReader& r) {
+  Signature sig{r.u64()};
+  for (std::size_t i = 8; i < kWireSignatureBytes; ++i) {
+    if (r.u8() != 0) r.fail();
+  }
+  return sig;
+}
+
 std::uint64_t Pki::tag_for(NodeId id, SipKey key,
                            std::span<const std::uint8_t> data) {
   // Domain-separate by signer id so a tag from node A is never valid for

@@ -21,6 +21,7 @@
 
 #include "crypto/siphash.h"
 #include "des/rng.h"
+#include "util/bytes.h"
 #include "util/node_id.h"
 
 namespace byzcast::crypto {
@@ -32,6 +33,16 @@ struct Signature {
   std::uint64_t tag = 0;
   friend bool operator==(const Signature&, const Signature&) = default;
 };
+
+/// Writes `sig` in wire form: the 8-byte MAC tag followed by zero padding
+/// up to kWireSignatureBytes. The one encoder every packet format uses.
+void write_wire_signature(util::ByteWriter& w, Signature sig);
+
+/// Reads a wire signature. Latches the reader's error flag when the
+/// padding bytes are not all zero: accepting dirty padding would break the
+/// canonical-parse invariant (accepted bytes re-serialize identically)
+/// that the zero-copy retransmission path relies on.
+Signature read_wire_signature(util::ByteReader& r);
 
 /// A node's private signing capability. Constructed only by Pki.
 class Signer {

@@ -82,7 +82,7 @@ bool Medium::attached(NodeId id) const {
   return id < radios_.size() && radios_[id] != nullptr && attached_[id];
 }
 
-void Medium::transmit(NodeId sender, std::vector<std::uint8_t> payload) {
+void Medium::transmit(NodeId sender, util::Buffer payload) {
   if (sender >= radios_.size() || radios_[sender] == nullptr) {
     throw std::out_of_range("Medium::transmit: unknown sender");
   }
@@ -153,9 +153,15 @@ void Medium::begin_transmission(Frame frame, des::SimTime t_start,
     }
     double dist = geo::distance(tx_pos, rx_pos);
     if (dist > reach) continue;
+    // `rx` is a live in-range candidate: from here on, exactly one of
+    // the dropped / collided / delivered outcomes fires for it, so
+    // offered == dropped + collided + delivered (counts and bytes) — the
+    // conservation identity conservation_test asserts.
+    const std::size_t wire = frame.wire_size();
+    if (metrics_ != nullptr) metrics_->on_frame_offered(wire);
     if (!propagation_->delivered(dist, nominal, rng_) ||
         rng_.chance(config_.base_loss_prob)) {
-      if (metrics_ != nullptr) metrics_->on_frame_dropped();
+      if (metrics_ != nullptr) metrics_->on_frame_dropped(wire);
       continue;
     }
     prune(rx, t_start);
@@ -169,7 +175,7 @@ void Medium::begin_transmission(Frame frame, des::SimTime t_start,
       }
     }
     if (rx_transmitting) {
-      if (metrics_ != nullptr) metrics_->on_frame_dropped();
+      if (metrics_ != nullptr) metrics_->on_frame_dropped(wire);
       continue;
     }
     auto reception = std::make_shared<Reception>(Reception{t_start, t_end});
@@ -182,22 +188,23 @@ void Medium::begin_transmission(Frame frame, des::SimTime t_start,
       }
     }
     receptions_[rx].push_back(reception);
-    auto shared_frame = std::make_shared<Frame>(frame);
+    // Copying the Frame into the lambda shares the payload buffer — the
+    // whole fan-out performs zero per-receiver byte copies.
     sim_.schedule_at(
-        t_end + config_.latency, [this, rx, reception, shared_frame]() {
+        t_end + config_.latency, [this, rx, reception, frame]() {
           // Each corrupted reception is counted exactly once, here.
           if (reception->corrupted) {
-            if (metrics_ != nullptr) metrics_->on_frame_collided();
+            if (metrics_ != nullptr) metrics_->on_frame_collided(frame.wire_size());
             return;
           }
           if (!attached_[rx]) {  // detached while the frame was in flight
-            if (metrics_ != nullptr) metrics_->on_frame_dropped();
+            if (metrics_ != nullptr) metrics_->on_frame_dropped(frame.wire_size());
             return;
           }
           if (metrics_ != nullptr) {
-            metrics_->on_frame_delivered(shared_frame->wire_size());
+            metrics_->on_frame_delivered(frame.wire_size());
           }
-          radios_[rx]->deliver(*shared_frame);
+          radios_[rx]->deliver(frame);
         });
   }
 }

@@ -67,8 +67,9 @@ class Medium {
   /// pointer, so the radio must outlive the medium's last event.
   void register_radio(Radio& radio);
 
-  /// Queues a broadcast transmission from `sender`.
-  void transmit(NodeId sender, std::vector<std::uint8_t> payload);
+  /// Queues a broadcast transmission from `sender`. The payload buffer is
+  /// shared by every receiver's delivery — zero per-receiver byte copies.
+  void transmit(NodeId sender, util::Buffer payload);
 
   // --- mid-run dynamics (fault injection) ---------------------------------
   /// Detaches/reattaches a radio. A detached radio transmits nothing and

@@ -7,21 +7,28 @@
 // pseudo-code's "sent by p_j"), which a Byzantine node cannot spoof — but
 // everything inside the payload, including any claimed originator, is
 // attacker-controlled until a signature verifies.
+//
+// The payload is an immutable shared util::Buffer: the medium fans one
+// frame out to every receiver in range by copying the Frame value, which
+// bumps a refcount instead of copying bytes (DESIGN.md §5a).
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "util/bytes.h"
 #include "util/node_id.h"
 
 namespace byzcast::radio {
 
 /// MAC header + FCS overhead added to every frame, in bytes (802.11-like).
+/// wire_size() below is the ONLY place that may add this constant —
+/// every byte-accounting consumer (airtime, metrics, benches) goes
+/// through it, so sent/delivered/dropped byte totals stay comparable.
 inline constexpr std::size_t kFrameOverheadBytes = 34;
 
 struct Frame {
   NodeId sender = kInvalidNode;
-  std::vector<std::uint8_t> payload;
+  util::Buffer payload;
 
   [[nodiscard]] std::size_t wire_size() const {
     return payload.size() + kFrameOverheadBytes;

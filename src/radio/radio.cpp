@@ -15,7 +15,7 @@ Radio::Radio(Medium& medium, NodeId id, mobility::MobilityModel& mobility,
   medium_.register_radio(*this);
 }
 
-void Radio::send(std::vector<std::uint8_t> payload) {
+void Radio::send(util::Buffer payload) {
   medium_.transmit(id_, std::move(payload));
 }
 

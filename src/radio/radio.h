@@ -26,8 +26,9 @@ class Radio {
   Radio(const Radio&) = delete;
   Radio& operator=(const Radio&) = delete;
 
-  /// Broadcasts `payload` to the one-hop neighbourhood.
-  void send(std::vector<std::uint8_t> payload);
+  /// Broadcasts `payload` to the one-hop neighbourhood. The buffer is
+  /// shared, not copied, all the way to every receiver's handler.
+  void send(util::Buffer payload);
 
   /// Powers the radio on/off on the medium (fault injection: crashes and
   /// radio outages). While detached the radio neither transmits nor

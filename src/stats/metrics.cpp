@@ -27,9 +27,22 @@ void Metrics::on_frame_sent(std::size_t bytes) {
   ++frames_sent_;
   frame_bytes_sent_ += bytes;
 }
-void Metrics::on_frame_delivered(std::size_t /*bytes*/) { ++frames_delivered_; }
-void Metrics::on_frame_collided() { ++frames_collided_; }
-void Metrics::on_frame_dropped() { ++frames_dropped_; }
+void Metrics::on_frame_offered(std::size_t bytes) {
+  ++frames_offered_;
+  frame_bytes_offered_ += bytes;
+}
+void Metrics::on_frame_delivered(std::size_t bytes) {
+  ++frames_delivered_;
+  frame_bytes_delivered_ += bytes;
+}
+void Metrics::on_frame_collided(std::size_t bytes) {
+  ++frames_collided_;
+  frame_bytes_collided_ += bytes;
+}
+void Metrics::on_frame_dropped(std::size_t bytes) {
+  ++frames_dropped_;
+  frame_bytes_dropped_ += bytes;
+}
 
 void Metrics::on_packet_sent(MsgKind kind, std::size_t bytes) {
   auto i = static_cast<std::size_t>(kind);

@@ -49,10 +49,17 @@ struct MessageKey {
 class Metrics {
  public:
   // --- link level (reported by the Medium) -------------------------------
+  // A sent frame is "offered" once per live in-range candidate receiver,
+  // and every offer resolves to exactly one of delivered / dropped /
+  // collided — so offered == delivered + dropped + collided holds for
+  // both counts and bytes once the channel quiesces (asserted by
+  // conservation_test; a run cut off mid-air leaves the last few offers
+  // unresolved). All byte arguments are Frame::wire_size() values.
   void on_frame_sent(std::size_t bytes);
+  void on_frame_offered(std::size_t bytes);
   void on_frame_delivered(std::size_t bytes);
-  void on_frame_collided();
-  void on_frame_dropped();
+  void on_frame_collided(std::size_t bytes);
+  void on_frame_dropped(std::size_t bytes);
 
   // --- protocol level (reported by nodes) --------------------------------
   void on_packet_sent(MsgKind kind, std::size_t bytes);
@@ -87,6 +94,22 @@ class Metrics {
     return frames_collided_;
   }
   [[nodiscard]] std::uint64_t frames_dropped() const { return frames_dropped_; }
+  [[nodiscard]] std::uint64_t frames_offered() const { return frames_offered_; }
+  [[nodiscard]] std::uint64_t frame_bytes_sent() const {
+    return frame_bytes_sent_;
+  }
+  [[nodiscard]] std::uint64_t frame_bytes_offered() const {
+    return frame_bytes_offered_;
+  }
+  [[nodiscard]] std::uint64_t frame_bytes_delivered() const {
+    return frame_bytes_delivered_;
+  }
+  [[nodiscard]] std::uint64_t frame_bytes_collided() const {
+    return frame_bytes_collided_;
+  }
+  [[nodiscard]] std::uint64_t frame_bytes_dropped() const {
+    return frame_bytes_dropped_;
+  }
 
   [[nodiscard]] std::uint64_t packets(MsgKind kind) const;
   [[nodiscard]] std::uint64_t packet_bytes(MsgKind kind) const;
@@ -147,10 +170,15 @@ class Metrics {
 
  private:
   std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_offered_ = 0;
   std::uint64_t frames_delivered_ = 0;
   std::uint64_t frames_collided_ = 0;
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t frame_bytes_sent_ = 0;
+  std::uint64_t frame_bytes_offered_ = 0;
+  std::uint64_t frame_bytes_delivered_ = 0;
+  std::uint64_t frame_bytes_collided_ = 0;
+  std::uint64_t frame_bytes_dropped_ = 0;
 
   std::uint64_t packet_count_[kMsgKindCount] = {};
   std::uint64_t packet_bytes_[kMsgKindCount] = {};

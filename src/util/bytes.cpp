@@ -1,6 +1,40 @@
 #include "util/bytes.h"
 
+#include <cstdlib>
+
 namespace byzcast::util {
+
+std::uint64_t BufferStats::allocations = 0;
+std::uint64_t BufferStats::bytes_copied = 0;
+
+void BufferStats::reset() {
+  allocations = 0;
+  bytes_copied = 0;
+}
+
+Buffer::Buffer(std::vector<std::uint8_t> bytes) {
+  if (bytes.empty()) return;
+  ++BufferStats::allocations;
+  storage_ = std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+  data_ = storage_->data();
+  size_ = storage_->size();
+}
+
+Buffer Buffer::copy_of(std::span<const std::uint8_t> bytes) {
+  Buffer out(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  BufferStats::bytes_copied += bytes.size();
+  return out;
+}
+
+Buffer Buffer::slice(std::size_t offset, std::size_t count) const {
+  if (offset > size_ || count > size_ - offset) std::abort();
+  Buffer out;
+  if (count == 0) return out;
+  out.storage_ = storage_;
+  out.data_ = data_ + offset;
+  out.size_ = count;
+  return out;
+}
 
 void ByteWriter::bytes(std::span<const std::uint8_t> data) {
   u32(static_cast<std::uint32_t>(data.size()));
@@ -17,13 +51,17 @@ void ByteWriter::raw(std::span<const std::uint8_t> data) {
 }
 
 std::vector<std::uint8_t> ByteReader::bytes() {
+  std::span<const std::uint8_t> view = bytes_view();
+  return {view.begin(), view.end()};
+}
+
+std::span<const std::uint8_t> ByteReader::bytes_view() {
   std::uint32_t n = u32();
   if (!ok_ || data_.size() - pos_ < n) {
     ok_ = false;
     return {};
   }
-  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  std::span<const std::uint8_t> out = data_.subspan(pos_, n);
   pos_ += n;
   return out;
 }

@@ -3,6 +3,15 @@
 // protocol, channel or adversaries did.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "des/rng.h"
+#include "des/simulator.h"
+#include "mobility/static_mobility.h"
+#include "radio/medium.h"
+#include "radio/packet.h"
+#include "radio/propagation.h"
+#include "radio/radio.h"
 #include "reliable/reliable_broadcast.h"
 #include "sim/runner.h"
 
@@ -35,6 +44,27 @@ TEST_P(ConservationSweep, FrameAndPacketAccountingConsistent) {
   EXPECT_EQ(m.total_packets(), m.frames_sent());
   // Byte accounting: the wire adds per-frame overhead on top of payload.
   EXPECT_GT(m.total_packet_bytes(), 0u);
+
+  // Byte conservation across the channel: a sent frame is offered once
+  // per live in-range candidate receiver, and every offer resolves to
+  // exactly one of delivered / dropped / collided. The run cuts off with
+  // a few frames still in the air (their delivery events die with the
+  // event queue), so resolved can trail offered — but never exceed it,
+  // and the gap is bounded by one airtime's worth of in-flight frames.
+  // The exact identity is asserted on a quiesced channel below.
+  const std::uint64_t resolved =
+      m.frames_delivered() + m.frames_dropped() + m.frames_collided();
+  const std::uint64_t resolved_bytes = m.frame_bytes_delivered() +
+                                       m.frame_bytes_dropped() +
+                                       m.frame_bytes_collided();
+  EXPECT_LE(resolved, m.frames_offered());
+  EXPECT_LE(resolved_bytes, m.frame_bytes_offered());
+  EXPECT_LE(m.frames_offered() - resolved, 2u * config.n);
+  // Layer consistency: frame bytes are packet bytes plus the per-frame
+  // MAC overhead, added in exactly one place (Frame::wire_size).
+  EXPECT_EQ(m.frame_bytes_sent(),
+            m.total_packet_bytes() +
+                m.frames_sent() * radio::kFrameOverheadBytes);
 
   // Accept accounting: every accept belongs to a real broadcast, no
   // duplicates, latencies all non-negative (recorded count matches).
@@ -73,6 +103,57 @@ TEST_P(ConservationSweep, StoreNeverExceedsAcceptedUniverse) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConservationSweep,
                          ::testing::Values(41u, 42u, 43u, 44u, 45u));
+
+// ---------------------------------------------------------------------------
+// Exact frame/byte conservation on a channel that is allowed to quiesce:
+// with no periodic protocol timers, the event queue drains and every
+// offered frame has resolved — offered == delivered + dropped + collided
+// holds with equality, in counts and in wire bytes.
+// ---------------------------------------------------------------------------
+
+TEST(FrameByteConservation, ExactOnQuiescedChannel) {
+  des::Simulator sim(7);
+  stats::Metrics metrics;
+  radio::MediumConfig config;
+  config.base_loss_prob = 0.2;  // exercise the dropped path
+  radio::Medium medium(sim, std::make_unique<radio::UnitDisk>(), config,
+                       &metrics);
+  des::Rng rng(5);
+  std::vector<std::unique_ptr<mobility::StaticMobility>> mobility;
+  std::vector<std::unique_ptr<radio::Radio>> radios;
+  constexpr std::size_t kNodes = 12;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    mobility.push_back(std::make_unique<mobility::StaticMobility>(
+        geo::Vec2{static_cast<double>(rng.next_below(200)),
+                  static_cast<double>(rng.next_below(200))}));
+    radios.push_back(std::make_unique<radio::Radio>(
+        medium, static_cast<NodeId>(i), *mobility.back(), 150.0));
+    radios.back()->set_receive_handler([](const radio::Frame&) {});
+  }
+  // Overlapping bursts from every node: plenty of collisions, drops and
+  // deliveries, with varied frame sizes.
+  for (int round = 0; round < 20; ++round) {
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      radio::Radio* r = radios[i].get();
+      std::vector<std::uint8_t> payload(16 + rng.next_below(128),
+                                        static_cast<std::uint8_t>(i));
+      sim.schedule_at(des::millis(3 * round) + rng.next_below(des::millis(2)),
+                      [r, payload = std::move(payload)]() mutable {
+                        r->send(std::move(payload));
+                      });
+    }
+  }
+  sim.run_until(des::seconds(60));  // far past quiescence: queue is empty
+  EXPECT_GT(metrics.frames_offered(), 0u);
+  EXPECT_GT(metrics.frames_collided(), 0u);
+  EXPECT_GT(metrics.frames_dropped(), 0u);
+  EXPECT_EQ(metrics.frames_offered(),
+            metrics.frames_delivered() + metrics.frames_dropped() +
+                metrics.frames_collided());
+  EXPECT_EQ(metrics.frame_bytes_offered(),
+            metrics.frame_bytes_delivered() + metrics.frame_bytes_dropped() +
+                metrics.frame_bytes_collided());
+}
 
 // ---------------------------------------------------------------------------
 // Reliable-layer property sweep: FIFO order and completeness over a lossy

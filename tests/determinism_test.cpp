@@ -5,6 +5,7 @@
 // event order.
 #include <gtest/gtest.h>
 
+#include "crypto/hash.h"
 #include "sim/runner.h"
 
 namespace byzcast {
@@ -53,6 +54,27 @@ TEST(Determinism, DifferentSeedsDiverge) {
   std::string b =
       stats::snapshot(sim::run_scenario(small_scenario(6)).metrics);
   EXPECT_NE(a, b);
+}
+
+// Golden snapshot: the hash below was recorded on the commit *before* the
+// zero-copy frame pipeline landed, so it pins the refactor (and any future
+// byte-path change) to bit-identical behaviour — same wire bytes, same
+// event order, same stats. If this fails, the byte path changed observable
+// behaviour; do not update the constant without understanding why.
+TEST(Determinism, GoldenSnapshotHashUnchanged) {
+  sim::ScenarioConfig config;
+  config.seed = 20260805;
+  config.n = 16;
+  config.area = {340, 340};
+  config.tx_range = 130;
+  config.num_broadcasts = 8;
+  config.payload_bytes = 96;
+  config.cooldown = des::seconds(8);
+  config.adversaries = {{byz::AdversaryKind::kMute, 1},
+                        {byz::AdversaryKind::kLiar, 1}};
+  std::string snap = stats::snapshot(sim::run_scenario(config).metrics);
+  EXPECT_EQ(snap.size(), 2508u);
+  EXPECT_EQ(crypto::fnv1a(snap), 0x4771d0fe352e8837ULL) << snap;
 }
 
 TEST(Determinism, AdversarialRunsAreDeterministicToo) {

@@ -115,6 +115,101 @@ TEST(Message, GossipWithPiggybackedHelloRoundTrip) {
   EXPECT_EQ(g->hello->sig.tag, 0xFEEDULL);
 }
 
+/// One representative packet of every wire kind, for totality sweeps.
+std::vector<Packet> sample_packets() {
+  std::vector<Packet> packets;
+  packets.emplace_back(sample_data());
+
+  GossipMsg gossip;
+  gossip.entries.push_back({{3, 9}, {0x77}});
+  gossip.entries.push_back({{4, 1}, {0x88}});
+  HelloMsg piggyback;
+  piggyback.from = 5;
+  piggyback.active = true;
+  piggyback.neighbors = {1, 2};
+  piggyback.stability = {{3, 10}};
+  piggyback.sig = {0xFEED};
+  gossip.hello = piggyback;
+  packets.emplace_back(gossip);
+
+  packets.emplace_back(RequestMsg{{{3, 9}, {77}}, /*target=*/12});
+  packets.emplace_back(
+      FindMissingMsg{{{3, 9}, {77}}, /*gossiper=*/12, /*issuer=*/4, /*ttl=*/2});
+
+  HelloMsg hello;
+  hello.from = 5;
+  hello.active = true;
+  hello.neighbors = {1, 2, 3};
+  hello.dominator = true;
+  hello.dominator_neighbors = {2};
+  hello.suspects = {9};
+  hello.stability = {{1, 7}, {4, 2}};
+  hello.sig = {0xABCD};
+  packets.emplace_back(hello);
+  return packets;
+}
+
+// --- parser totality sweep (every kind) ------------------------------------
+// The zero-copy pipeline re-sends *received* frame bytes verbatim, so the
+// parser must be canonical: any byte string it accepts re-serializes to
+// exactly itself. These sweeps pin that property for every packet kind
+// against truncation and single-byte corruption.
+
+TEST(Message, EveryKindRoundTripsByteIdentical) {
+  for (const Packet& packet : sample_packets()) {
+    util::Buffer wire = serialize(packet);
+    auto parsed = parse_packet(wire);
+    ASSERT_TRUE(parsed.has_value())
+        << "kind=" << static_cast<int>(packet_type(packet));
+    EXPECT_EQ(serialize(*parsed), wire)
+        << "kind=" << static_cast<int>(packet_type(packet));
+  }
+}
+
+TEST(Message, EveryKindRejectsEveryPrefixTruncation) {
+  for (const Packet& packet : sample_packets()) {
+    util::Buffer wire = serialize(packet);
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      auto truncated = std::span<const std::uint8_t>(wire.data(), len);
+      EXPECT_FALSE(parse_packet(truncated).has_value())
+          << "kind=" << static_cast<int>(packet_type(packet))
+          << " len=" << len;
+    }
+  }
+}
+
+TEST(Message, SingleByteCorruptionNeverBreaksCanonicality) {
+  // Flip bits at every wire position. The parse must never crash or
+  // overread; when it still accepts, the accepted packet must re-serialize
+  // to exactly the corrupted bytes (nothing non-canonical slips through).
+  const std::uint8_t kFlips[] = {0x01, 0x80, 0xFF};
+  for (const Packet& packet : sample_packets()) {
+    util::Buffer wire = serialize(packet);
+    std::vector<std::uint8_t> bytes(wire.begin(), wire.end());
+    for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+      for (std::uint8_t flip : kFlips) {
+        auto copy = bytes;
+        copy[pos] ^= flip;
+        auto parsed = parse_packet(copy);
+        if (parsed.has_value()) {
+          EXPECT_EQ(serialize(*parsed), util::Buffer(copy))
+              << "kind=" << static_cast<int>(packet_type(packet))
+              << " pos=" << pos << " flip=" << static_cast<int>(flip);
+        }
+      }
+    }
+  }
+}
+
+TEST(Message, CorruptedTypeByteRejected) {
+  for (const Packet& packet : sample_packets()) {
+    util::Buffer wire = serialize(packet);
+    std::vector<std::uint8_t> bytes(wire.begin(), wire.end());
+    bytes[0] = 0x7F;  // no such MsgType
+    EXPECT_FALSE(parse_packet(bytes).has_value());
+  }
+}
+
 TEST(Message, SignatureOccupiesDsaWireSize) {
   // DATA wire size: 1 type + 8 id + 1 ttl + (4+len) payload + 2 sigs.
   DataMsg m = sample_data();
@@ -134,7 +229,8 @@ TEST(Message, ParseRejectsTruncation) {
 }
 
 TEST(Message, ParseRejectsTrailingGarbage) {
-  auto bytes = serialize(Packet{sample_data()});
+  util::Buffer wire = serialize(Packet{sample_data()});
+  std::vector<std::uint8_t> bytes(wire.begin(), wire.end());
   bytes.push_back(0);
   EXPECT_FALSE(parse_packet(bytes).has_value());
 }
@@ -165,7 +261,8 @@ TEST(Message, ParseSurvivesRandomFuzz) {
 
 TEST(Message, ParseSurvivesBitFlippedValidPackets) {
   des::Rng rng(99);
-  auto bytes = serialize(Packet{sample_data()});
+  util::Buffer wire = serialize(Packet{sample_data()});
+  std::vector<std::uint8_t> bytes(wire.begin(), wire.end());
   for (int trial = 0; trial < 2000; ++trial) {
     auto copy = bytes;
     copy[rng.next_below(copy.size())] ^=

@@ -201,7 +201,10 @@ TEST_F(NodeTest, TamperedPayloadRejected) {
   bob.set_accept_handler([&](auto&&...) { ++accepts; });
 
   DataMsg msg = make_signed_data(raw, 0, {1, 2, 3});
-  msg.payload[0] ^= 0xFF;  // tamper after signing
+  std::vector<std::uint8_t> tampered(msg.payload.begin(), msg.payload.end());
+  tampered[0] ^= 0xFF;  // tamper after signing
+  msg.payload = std::move(tampered);
+  msg.wire = {};  // stale: payload changed after serialization
   raw_send(raw, msg);
   sim_.run_until(des::seconds(1));
   EXPECT_EQ(accepts, 0);

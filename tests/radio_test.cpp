@@ -13,7 +13,7 @@ namespace {
 
 struct Received {
   NodeId from;
-  std::vector<std::uint8_t> payload;
+  util::Buffer payload;
   des::SimTime at;
 };
 

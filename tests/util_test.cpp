@@ -89,6 +89,90 @@ TEST(Bytes, RawHasNoLengthPrefix) {
 }
 
 // ---------------------------------------------------------------------------
+// Buffer (zero-copy pipeline currency)
+// ---------------------------------------------------------------------------
+
+TEST(Buffer, CopiesShareStorageWithoutCopyingBytes) {
+  BufferStats::reset();
+  Buffer a(std::vector<std::uint8_t>{1, 2, 3, 4});
+  EXPECT_EQ(BufferStats::allocations, 1u);
+  Buffer b = a;           // refcount bump
+  Buffer c = a.slice(1, 2);
+  EXPECT_EQ(BufferStats::allocations, 1u);
+  EXPECT_EQ(BufferStats::bytes_copied, 0u);
+  EXPECT_TRUE(b.shares_storage_with(a));
+  EXPECT_TRUE(c.shares_storage_with(a));
+  EXPECT_EQ(a.use_count(), 3);
+}
+
+TEST(Buffer, SliceViewsTheRightBytes) {
+  Buffer a({10, 20, 30, 40, 50});
+  Buffer mid = a.slice(1, 3);
+  EXPECT_EQ(mid, (Buffer{20, 30, 40}));
+  EXPECT_EQ(mid.data(), a.data() + 1);
+  // Full-range and empty slices are fine.
+  EXPECT_EQ(a.slice(0, 5), a);
+  EXPECT_TRUE(a.slice(5, 0).empty());
+}
+
+TEST(Buffer, CopyOfMaterializesAndCounts) {
+  Buffer a({1, 2, 3});
+  BufferStats::reset();
+  Buffer b = Buffer::copy_of(a.span());
+  EXPECT_EQ(BufferStats::allocations, 1u);
+  EXPECT_EQ(BufferStats::bytes_copied, 3u);
+  EXPECT_EQ(b, a);                          // same bytes...
+  EXPECT_FALSE(b.shares_storage_with(a));   // ...different allocation
+}
+
+TEST(Buffer, EqualityIsByteWiseNotIdentity) {
+  Buffer a({1, 2, 3});
+  Buffer b({1, 2, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.shares_storage_with(b));
+  EXPECT_NE(a, Buffer({1, 2}));
+  EXPECT_EQ(Buffer(), Buffer(std::vector<std::uint8_t>{}));
+}
+
+TEST(Buffer, EmptyBufferAllocatesNothing) {
+  BufferStats::reset();
+  Buffer empty(std::vector<std::uint8_t>{});
+  EXPECT_EQ(BufferStats::allocations, 0u);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.use_count(), 0);
+}
+
+TEST(Buffer, WriterFreezeIsCopyFree) {
+  ByteWriter w;
+  w.u32(0xAABBCCDD);
+  BufferStats::reset();
+  Buffer frozen = w.take_buffer();
+  EXPECT_EQ(BufferStats::bytes_copied, 0u);
+  EXPECT_EQ(frozen.size(), 4u);
+}
+
+TEST(Buffer, ReaderBytesViewAliasesInput) {
+  ByteWriter w;
+  w.bytes(std::vector<std::uint8_t>{7, 8, 9});
+  Buffer wire = w.take_buffer();
+  ByteReader r(wire.span());
+  std::span<const std::uint8_t> view = r.bytes_view();
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.data(), wire.data() + 4);  // past the u32 length prefix
+}
+
+TEST(Buffer, ReaderFailLatches) {
+  std::vector<std::uint8_t> bytes{1, 2};
+  ByteReader r(bytes);
+  EXPECT_TRUE(r.ok());
+  r.fail();
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.done());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Table
 // ---------------------------------------------------------------------------
 
