@@ -6,7 +6,8 @@
 // We measure how widely knowledge of the mute nodes spreads (fraction of
 // (correct, mute) pairs where the correct node's TRUST level for the mute
 // node is not `trusted`) and the late-traffic latency, with reports on
-// and off.
+// and off. Both are post-run observations on the Network, declared via
+// SweepSpec::observe so the engine can surface them as sweep metrics.
 //
 // Expected shape: with propagation on, second-hand "unknown" marks spread
 // past the direct victims, the overlay stops leaning on the mute nodes
@@ -17,70 +18,74 @@
 int main(int argc, char** argv) {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
-  auto n = static_cast<std::size_t>(args.get_int("n", 30));
-  auto bcasts = static_cast<std::size_t>(args.get_int("bcasts", 30));
-  int seeds = static_cast<int>(args.get_int("seeds", 3));
+  bench::register_sweep_flags(args);
+  args.add_flag("n", 30, "network size");
+  args.add_flag("bcasts", 30, "broadcasts per run");
+  if (args.handle_help(argv[0], std::cout)) return 0;
+  bench::SweepOptions opt = bench::sweep_options(args);
+  auto n = static_cast<std::size_t>(args.get_int("n"));
+  auto bcasts = static_cast<std::size_t>(args.get_int("bcasts"));
 
-  util::Table table({"trust_propagation", "aware_pair_fraction",
-                     "late_latency_mean_ms", "delivery"});
+  sim::ScenarioConfig base;
+  base.n = n;
+  base.tx_range = 120;
+  double side = bench::density_side(n, base.tx_range, 6.0);
+  base.area = {side, side};
+  base.adversaries = {{byz::AdversaryKind::kMute, n / 5}};
+  base.protocol_config.mute.suspicion_interval = des::seconds(60);
+  base.protocol_config.trust.suspicion_interval = des::seconds(60);
+  base.protocol_config.trust.report_interval = des::seconds(60);
+  base.num_broadcasts = bcasts;
+  base.cooldown = des::seconds(12);
 
-  for (bool propagation : {true, false}) {
-    double aware_sum = 0, late_sum = 0, delivery_sum = 0;
-    int runs = 0;
-    std::uint64_t seed = 950;
-    while (runs < seeds && seed < 1050) {
-      sim::ScenarioConfig config;
-      config.seed = seed++;
-      config.n = n;
-      config.tx_range = 120;
-      double side = bench::density_side(n, config.tx_range, 6.0);
-      config.area = {side, side};
-      config.adversaries = {{byz::AdversaryKind::kMute, n / 5}};
-      config.protocol_config.trust_propagation = propagation;
-      config.protocol_config.mute.suspicion_interval = des::seconds(60);
-      config.protocol_config.trust.suspicion_interval = des::seconds(60);
-      config.protocol_config.trust.report_interval = des::seconds(60);
-      config.num_broadcasts = bcasts;
-      config.cooldown = des::seconds(12);
-      sim::Network network(config);
-      if (!network.correct_graph_connected()) continue;
-      sim::RunResult result = sim::run_workload(network);
+  sim::SweepSpec spec;
+  spec.base(base)
+      .variant_axis("trust_propagation")
+      .replicas(opt.replicas)
+      .seed_base(900);
+  spec.variant("on (paper)", [](sim::ScenarioConfig&) {})
+      .variant("off", [](sim::ScenarioConfig& c) {
+        c.protocol_config.trust_propagation = false;
+      });
 
-      std::size_t aware = 0, pairs = 0;
-      for (NodeId c : network.correct_nodes()) {
-        for (NodeId b : network.byzantine_nodes()) {
-          ++pairs;
-          if (network.byzcast_node(c)->trust().level(b) !=
-              fd::TrustLevel::kTrusted) {
-            ++aware;
-          }
-        }
-      }
-      aware_sum += pairs == 0 ? 0
-                              : static_cast<double>(aware) /
-                                    static_cast<double>(pairs);
-      // Mean latency over the last third of the broadcasts (post-healing).
-      double late = 0;
-      std::size_t late_count = 0;
-      NodeId sender = network.senders()[0];
-      for (std::uint32_t i = static_cast<std::uint32_t>(2 * bcasts / 3);
-           i < bcasts; ++i) {
-        auto rec = result.metrics.records().find({sender, i});
-        if (rec == result.metrics.records().end()) continue;
-        for (const auto& [node, at] : rec->second.accepted) {
-          late += 1e3 * des::to_seconds(at - rec->second.sent_at);
-          ++late_count;
-        }
-      }
-      late_sum += late_count == 0 ? 0 : late / static_cast<double>(late_count);
-      delivery_sum += result.metrics.delivery_ratio();
-      ++runs;
-    }
-    if (runs > 0) {
-      table.add_row({std::string(propagation ? "on (paper)" : "off"),
-                     aware_sum / runs, late_sum / runs, delivery_sum / runs});
-    }
-  }
-  bench::emit(table, args);
+  spec.observe("aware_pair_fraction",
+               [](sim::Network& network, const sim::RunResult&) {
+                 std::size_t aware = 0, pairs = 0;
+                 for (NodeId c : network.correct_nodes()) {
+                   for (NodeId b : network.byzantine_nodes()) {
+                     ++pairs;
+                     if (network.byzcast_node(c)->trust().level(b) !=
+                         fd::TrustLevel::kTrusted) {
+                       ++aware;
+                     }
+                   }
+                 }
+                 return pairs == 0 ? 0
+                                   : static_cast<double>(aware) /
+                                         static_cast<double>(pairs);
+               });
+  // Mean latency over the last third of the broadcasts (post-healing).
+  spec.observe("late_latency_mean_ms",
+               [bcasts](sim::Network& network, const sim::RunResult& result) {
+                 double late = 0;
+                 std::size_t count = 0;
+                 NodeId sender = network.senders()[0];
+                 for (auto i = static_cast<std::uint32_t>(2 * bcasts / 3);
+                      i < bcasts; ++i) {
+                   auto rec = result.metrics.records().find({sender, i});
+                   if (rec == result.metrics.records().end()) continue;
+                   for (const auto& [node, at] : rec->second.accepted) {
+                     late += 1e3 * des::to_seconds(at - rec->second.sent_at);
+                     ++count;
+                   }
+                 }
+                 return count == 0 ? 0 : late / static_cast<double>(count);
+               });
+
+  bench::emit(sim::run_sweep(spec, opt.threads),
+              {sim::sweep_metrics::observed("aware_pair_fraction", 0),
+               sim::sweep_metrics::observed("late_latency_mean_ms", 1),
+               sim::sweep_metrics::delivery()},
+              opt);
   return 0;
 }

@@ -12,12 +12,31 @@
 int main(int argc, char** argv) {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
-  int seeds = static_cast<int>(args.get_int("seeds", 4));
-  auto n = static_cast<std::size_t>(args.get_int("n", 40));
+  bench::register_sweep_flags(args, 4);
+  args.add_flag("n", 40, "network size");
+  if (args.handle_help(argv[0], std::cout)) return 0;
+  bench::SweepOptions opt = bench::sweep_options(args);
+  auto n = static_cast<std::size_t>(args.get_int("n"));
 
-  util::Table table({"variant", "delivery", "latency_mean_ms",
-                     "overhead_pkts_per_bcast"});
+  sim::ScenarioConfig base = bench::default_scenario(n);
+  double side = bench::density_side(n, base.tx_range, 6.0);
+  base.area = {side, side};
+  base.adversaries = {{byz::AdversaryKind::kMute, n / 4}};
 
+  // Overhead = non-DATA packets per broadcast.
+  sim::MetricSpec overhead{"overhead_pkts_per_bcast",
+                           [](const sim::ReplicaView& v) {
+                             auto bcasts = static_cast<double>(
+                                 v.config.num_broadcasts);
+                             return static_cast<double>(
+                                        v.result.metrics.total_packets() -
+                                        v.result.metrics.packets(
+                                            stats::MsgKind::kData)) /
+                                    bcasts;
+                           }};
+
+  sim::SweepSpec spec;
+  spec.base(base).variant_axis("variant").replicas(opt.replicas).seed_base(900);
   struct Variant {
     const char* name;
     bool recovery;
@@ -27,20 +46,15 @@ int main(int argc, char** argv) {
        {Variant{"recovery-ttl2 (paper)", true, 2},
         Variant{"recovery-ttl1", true, 1},
         Variant{"no-recovery", false, 2}}) {
-    bench::Averaged avg = bench::run_averaged(
-        [&](std::uint64_t seed) {
-          sim::ScenarioConfig config = bench::default_scenario(n, seed);
-          double side = bench::density_side(n, config.tx_range, 6.0);
-          config.area = {side, side};
-          config.adversaries = {{byz::AdversaryKind::kMute, n / 4}};
-          config.protocol_config.recovery_enabled = v.recovery;
-          config.protocol_config.find_ttl = v.ttl;
-          return config;
-        },
-        seeds, 900);
-    table.add_row({std::string(v.name), avg.delivery, avg.latency_mean_ms,
-                   avg.total_packets_per_bcast - avg.data_packets_per_bcast});
+    spec.variant(v.name, [v](sim::ScenarioConfig& c) {
+      c.protocol_config.recovery_enabled = v.recovery;
+      c.protocol_config.find_ttl = v.ttl;
+    });
   }
-  bench::emit(table, args);
+
+  bench::emit(sim::run_sweep(spec, opt.threads),
+              {sim::sweep_metrics::delivery().with_ci(),
+               sim::sweep_metrics::latency_mean_ms(), overhead},
+              opt);
   return 0;
 }

@@ -3,7 +3,9 @@
 // nodes walk out of range, miss a burst of broadcasts, and return after
 // the lazycast repeats are exhausted. We report how much of the missed
 // traffic they recover, over time since rejoin, with the stability-
-// vector-driven anti-entropy re-gossip on and off.
+// vector-driven anti-entropy re-gossip on and off. The scripted
+// keyframe mobility keeps this a hand-built simulation rather than a
+// SweepSpec.
 //
 // Expected shape: with anti-entropy the rejoiners converge to 100%
 // within a few gossip periods; without it they stay at 0% — after the
@@ -17,10 +19,16 @@
 int main(int argc, char** argv) {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
-  auto n = static_cast<std::size_t>(args.get_int("n", 20));
-  auto away = static_cast<std::size_t>(args.get_int("away", 5));
-  auto bcasts = static_cast<std::size_t>(args.get_int("bcasts", 12));
-  auto seed = static_cast<std::uint64_t>(args.get_int("seed", 37));
+  args.add_flag("n", 20, "network size")
+      .add_flag("away", 5, "wanderers that leave and rejoin")
+      .add_flag("bcasts", 12, "broadcasts sent while they are away")
+      .add_flag("seed", 37, "simulation seed")
+      .add_flag("csv", false, "emit CSV instead of the aligned table");
+  if (args.handle_help(argv[0], std::cout)) return 0;
+  auto n = static_cast<std::size_t>(args.get_int("n"));
+  auto away = static_cast<std::size_t>(args.get_int("away"));
+  auto bcasts = static_cast<std::size_t>(args.get_int("bcasts"));
+  auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
   util::Table table({"t_since_rejoin_s", "anti_entropy",
                      "recovered_fraction"});

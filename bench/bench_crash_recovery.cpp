@@ -17,55 +17,72 @@
 int main(int argc, char** argv) {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
-  auto n = static_cast<std::size_t>(args.get_int("n", 40));
-  int repetitions = static_cast<int>(args.get_int("seeds", 3));
+  bench::register_sweep_flags(args);
+  args.add_flag("n", 40, "network size");
+  if (args.handle_help(argv[0], std::cout)) return 0;
+  bench::SweepOptions opt = bench::sweep_options(args);
+  auto n = static_cast<std::size_t>(args.get_int("n"));
 
-  util::Table table({"crash_frac", "delay_s", "delivery", "availability",
-                     "recovered", "caught_up", "catchup_mean_s",
-                     "catchup_p99_s"});
-
+  sim::SweepSpec spec;
+  spec.base(bench::default_scenario(n))
+      .axis("crash_frac")
+      .variant_axis("delay_s")
+      .replicas(opt.replicas)
+      .seed_base(4000);
   for (double crash_frac : {0.1, 0.2, 0.3}) {
-    for (double delay_s : {5.0, 10.0, 20.0}) {
-      double delivery = 0, availability = 0, catchup_mean = 0, catchup_p99 = 0;
-      std::uint64_t recovered = 0, caught_up = 0;
-      int runs = 0;
-      std::uint64_t seed = 4000;
-      int attempts = 0;
-      while (runs < repetitions && attempts < repetitions + 50) {
-        ++attempts;
-        sim::ScenarioConfig config = bench::default_scenario(n, seed++);
-        // Crash nodes 1..k: node 0 is the sender and must stay up so the
-        // workload keeps flowing.
-        auto crashed =
-            static_cast<std::size_t>(crash_frac * static_cast<double>(n));
-        des::SimTime down_at = config.warmup + des::seconds(1);
-        for (std::size_t i = 1; i <= crashed; ++i) {
-          auto node = static_cast<NodeId>(i);
-          config.fault_schedule.events.push_back(
-              {down_at, sim::FaultKind::kCrashStop, node, 0, {}});
-          config.fault_schedule.events.push_back(
-              {down_at + des::from_seconds(delay_s),
-               sim::FaultKind::kCrashRecover, node, 0, {}});
-        }
-        sim::Network network(config);
-        if (!network.correct_graph_connected()) continue;
-        sim::RunResult result = sim::run_workload(network);
-        const stats::Metrics& m = result.metrics;
-        delivery += m.delivery_ratio();
-        availability += result.availability;
-        recovered += m.recoveries_returned();
-        caught_up += m.recoveries_completed();
-        catchup_mean += m.catchup_latency().mean();
-        catchup_p99 += m.catchup_latency().percentile(0.99);
-        ++runs;
+    // Crash nodes 1..k at warmup+1s: node 0 is the sender and must stay
+    // up so the workload keeps flowing. The matching recover events are
+    // appended by the delay variant below.
+    spec.value(crash_frac, [crash_frac, n](sim::ScenarioConfig& c) {
+      auto crashed =
+          static_cast<std::size_t>(crash_frac * static_cast<double>(n));
+      des::SimTime down_at = c.warmup + des::seconds(1);
+      for (std::size_t i = 1; i <= crashed; ++i) {
+        c.fault_schedule.events.push_back(
+            {down_at, sim::FaultKind::kCrashStop, static_cast<NodeId>(i), 0,
+             {}});
       }
-      double r = std::max(runs, 1);
-      table.add_row({crash_frac, delay_s, delivery / r, availability / r,
-                     static_cast<std::int64_t>(recovered),
-                     static_cast<std::int64_t>(caught_up), catchup_mean / r,
-                     catchup_p99 / r});
-    }
+    });
   }
-  bench::emit(table, args);
+  for (double delay_s : {5.0, 10.0, 20.0}) {
+    spec.variant(util::format_cell(delay_s), [delay_s](sim::ScenarioConfig& c) {
+      std::vector<sim::FaultEvent> recoveries;
+      for (const sim::FaultEvent& e : c.fault_schedule.events) {
+        if (e.kind != sim::FaultKind::kCrashStop) continue;
+        recoveries.push_back({e.at + des::from_seconds(delay_s),
+                              sim::FaultKind::kCrashRecover, e.node, 0, {}});
+      }
+      c.fault_schedule.events.insert(c.fault_schedule.events.end(),
+                                     recoveries.begin(), recoveries.end());
+    });
+  }
+
+  using Reduce = sim::MetricSpec::Reduce;
+  bench::emit(
+      sim::run_sweep(spec, opt.threads),
+      {sim::sweep_metrics::delivery().with_ci(),
+       sim::sweep_metrics::availability(),
+       sim::MetricSpec{"recovered",
+                       [](const sim::ReplicaView& v) {
+                         return static_cast<double>(
+                             v.result.metrics.recoveries_returned());
+                       },
+                       Reduce::kSum},
+       sim::MetricSpec{"caught_up",
+                       [](const sim::ReplicaView& v) {
+                         return static_cast<double>(
+                             v.result.metrics.recoveries_completed());
+                       },
+                       Reduce::kSum},
+       sim::MetricSpec{"catchup_mean_s",
+                       [](const sim::ReplicaView& v) {
+                         return v.result.metrics.catchup_latency().mean();
+                       }},
+       sim::MetricSpec{"catchup_p99_s",
+                       [](const sim::ReplicaView& v) {
+                         return v.result.metrics.catchup_latency().percentile(
+                             0.99);
+                       }}},
+      opt);
   return 0;
 }

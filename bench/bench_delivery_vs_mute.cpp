@@ -12,44 +12,40 @@
 int main(int argc, char** argv) {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
-  int seeds = static_cast<int>(args.get_int("seeds", 3));
-  auto n = static_cast<std::size_t>(args.get_int("n", 60));
+  bench::register_sweep_flags(args);
+  args.add_flag("n", 60, "network size");
+  if (args.handle_help(argv[0], std::cout)) return 0;
+  bench::SweepOptions opt = bench::sweep_options(args);
+  auto n = static_cast<std::size_t>(args.get_int("n"));
 
-  util::Table table({"mute_fraction", "protocol", "delivery",
-                     "latency_mean_ms", "latency_p99_ms"});
-
-  struct Variant {
-    const char* name;
-    std::function<void(sim::ScenarioConfig&)> apply;
-  };
-  std::vector<Variant> variants = {
-      {"byzcast", [](sim::ScenarioConfig&) {}},
-      {"byzcast-no-recovery",
-       [](sim::ScenarioConfig& c) {
-         c.protocol_config.recovery_enabled = false;
-       }},
-      {"flooding",
-       [](sim::ScenarioConfig& c) { c.protocol = sim::ProtocolKind::kFlooding; }},
-  };
-
+  sim::SweepSpec spec;
+  spec.base(bench::default_scenario(n))
+      .axis("mute_fraction")
+      .replicas(opt.replicas)
+      .seed_base(200);
   for (double fraction : {0.0, 0.1, 0.2, 0.3, 0.4}) {
-    auto mute_count = static_cast<std::size_t>(
-        fraction * static_cast<double>(n) + 0.5);
-    for (const Variant& variant : variants) {
-      bench::Averaged avg = bench::run_averaged(
-          [&](std::uint64_t seed) {
-            sim::ScenarioConfig config = bench::default_scenario(n, seed);
-            if (mute_count > 0) {
-              config.adversaries = {{byz::AdversaryKind::kMute, mute_count}};
-            }
-            variant.apply(config);
-            return config;
-          },
-          seeds, 200 + static_cast<std::uint64_t>(fraction * 100));
-      table.add_row({fraction, std::string(variant.name), avg.delivery,
-                     avg.latency_mean_ms, avg.latency_p99_ms});
-    }
+    auto mute_count =
+        static_cast<std::size_t>(fraction * static_cast<double>(n) + 0.5);
+    spec.value(fraction, [mute_count](sim::ScenarioConfig& c) {
+      c.adversaries.clear();
+      if (mute_count > 0) {
+        c.adversaries = {{byz::AdversaryKind::kMute, mute_count}};
+      }
+    });
   }
-  bench::emit(table, args);
+  spec.variant("byzcast", [](sim::ScenarioConfig&) {})
+      .variant("byzcast-no-recovery",
+               [](sim::ScenarioConfig& c) {
+                 c.protocol_config.recovery_enabled = false;
+               })
+      .variant("flooding", [](sim::ScenarioConfig& c) {
+        c.protocol = sim::ProtocolKind::kFlooding;
+      });
+
+  bench::emit(sim::run_sweep(spec, opt.threads),
+              {sim::sweep_metrics::delivery().with_ci(),
+               sim::sweep_metrics::latency_mean_ms(),
+               sim::sweep_metrics::latency_p99_ms()},
+              opt);
   return 0;
 }

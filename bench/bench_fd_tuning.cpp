@@ -8,12 +8,13 @@
 //    neighbourhood is the mute node). Time from the first broadcast until
 //    ANY correct node distrusts M (which victim catches it first depends
 //    on whose transmissions collide). Interval Local Completeness,
-//    sooner is better.
+//    sooner is better. Single deterministic run — stays serial.
 //
 //  * false suspicions, on a dense failure-free network where collisions
 //    regularly make correct overlay neighbours *appear* silent: count of
-//    (correct suspects correct) pairs. Interval Strong Accuracy, fewer is
-//    better.
+//    (correct suspects correct) pairs, run as a sweep over the
+//    (timeout, threshold) grid with a trace observer. Interval Strong
+//    Accuracy, fewer is better.
 //
 // Expected shape: aggressive settings (short timeout, threshold 1) detect
 // in under two seconds but convict correct nodes whose frames merely
@@ -81,52 +82,70 @@ double diamond_detection_latency(des::SimDuration expect_timeout,
   return -1.0;
 }
 
-/// (correct, correct) suspicion pairs in a dense failure-free run.
-double false_suspicions(des::SimDuration expect_timeout, int threshold,
-                        int seeds) {
-  double total = 0;
-  int runs = 0;
-  std::uint64_t seed = 1700;
-  while (runs < seeds && seed < 1760) {
-    sim::ScenarioConfig config;
-    config.seed = seed++;
-    config.n = 40;
-    config.tx_range = 120;
-    double side = bench::density_side(40, config.tx_range, 14.0);
-    config.area = {side, side};  // dense: collision-heavy
-    config.num_broadcasts = 40;
-    config.broadcast_interval = des::millis(150);
-    config.protocol_config.mute.expect_timeout = expect_timeout;
-    config.protocol_config.mute.suspicion_threshold = threshold;
-    config.protocol_config.mute.suspicion_interval = des::seconds(120);
-    config.enable_trace = true;
-    sim::Network network(config);
-    if (!network.correct_graph_connected()) continue;
-    (void)sim::run_workload(network);
-    ++runs;
-    for (const trace::Event& e : network.trace().events()) {
-      if (e.kind == trace::EventKind::kSuspect) total += 1;
-    }
-  }
-  return runs == 0 ? -1 : total / runs;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace byzcast;
   util::CliArgs args(argc, argv);
-  int seeds = static_cast<int>(args.get_int("seeds", 3));
+  bench::register_sweep_flags(args);
+  if (args.handle_help(argv[0], std::cout)) return 0;
+  bench::SweepOptions opt = bench::sweep_options(args);
 
-  util::Table table({"expect_timeout_ms", "threshold",
-                     "detect_latency_s", "false_suspicions_per_run"});
+  // Dense failure-free network, collision-heavy: every suspicion traced
+  // here convicts a correct node.
+  sim::ScenarioConfig base;
+  base.n = 40;
+  base.tx_range = 120;
+  double side = bench::density_side(40, base.tx_range, 14.0);
+  base.area = {side, side};
+  base.num_broadcasts = 40;
+  base.broadcast_interval = des::millis(150);
+  base.protocol_config.mute.suspicion_interval = des::seconds(120);
+  base.enable_trace = true;
+
+  sim::SweepSpec spec;
+  spec.base(base)
+      .axis("expect_timeout_ms")
+      .variant_axis("threshold")
+      .replicas(opt.replicas)
+      .seed_base(1700);
   for (std::uint64_t timeout_ms : {300u, 800u, 1600u}) {
-    for (int threshold : {1, 3, 5}) {
-      table.add_row(
-          {static_cast<std::int64_t>(timeout_ms),
-           static_cast<std::int64_t>(threshold),
-           diamond_detection_latency(des::millis(timeout_ms), threshold),
-           false_suspicions(des::millis(timeout_ms), threshold, seeds)});
-    }
+    spec.value(static_cast<std::int64_t>(timeout_ms),
+               [timeout_ms](sim::ScenarioConfig& c) {
+                 c.protocol_config.mute.expect_timeout =
+                     des::millis(timeout_ms);
+               });
+  }
+  for (int threshold : {1, 3, 5}) {
+    spec.variant(std::to_string(threshold),
+                 [threshold](sim::ScenarioConfig& c) {
+                   c.protocol_config.mute.suspicion_threshold = threshold;
+                 });
+  }
+  spec.observe("false_suspicions",
+               [](sim::Network& network, const sim::RunResult&) {
+                 double total = 0;
+                 for (const trace::Event& e : network.trace().events()) {
+                   if (e.kind == trace::EventKind::kSuspect) total += 1;
+                 }
+                 return total;
+               });
+  sim::SweepResult result = sim::run_sweep(spec, opt.threads);
+
+  util::Table table({"expect_timeout_ms", "threshold", "detect_latency_s",
+                     "false_suspicions_per_run"});
+  for (const sim::SweepPoint& point : result.points) {
+    const fd::MuteFdConfig& mute = point.config.protocol_config.mute;
+    table.add_row(
+        {point.axis_value, point.variant,
+         diamond_detection_latency(mute.expect_timeout,
+                                   mute.suspicion_threshold),
+         point.feasible()
+             ? util::Cell(point
+                              .summarize(sim::sweep_metrics::observed(
+                                  "false_suspicions", 0))
+                              .mean())
+             : util::Cell(std::string("n/a"))});
   }
   bench::emit(table, args);
   return 0;

@@ -11,25 +11,24 @@
 int main(int argc, char** argv) {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
-  int seeds = static_cast<int>(args.get_int("seeds", 3));
+  bench::register_sweep_flags(args);
+  if (args.handle_help(argv[0], std::cout)) return 0;
+  bench::SweepOptions opt = bench::sweep_options(args);
 
-  util::Table table({"n", "protocol", "latency_mean_ms", "latency_p99_ms",
-                     "delivery"});
-
+  sim::SweepSpec spec;
+  spec.base(bench::default_scenario(50))
+      .axis("n")
+      .protocols({sim::ProtocolKind::kByzcast, sim::ProtocolKind::kFlooding})
+      .replicas(opt.replicas)
+      .seed_base(300);
   for (std::size_t n : {25u, 50u, 100u, 150u, 200u}) {
-    for (bool flooding : {false, true}) {
-      bench::Averaged avg = bench::run_averaged(
-          [&](std::uint64_t seed) {
-            sim::ScenarioConfig config = bench::default_scenario(n, seed);
-            if (flooding) config.protocol = sim::ProtocolKind::kFlooding;
-            return config;
-          },
-          seeds, 300 + n);
-      table.add_row({static_cast<std::int64_t>(n),
-                     std::string(flooding ? "flooding" : "byzcast"),
-                     avg.latency_mean_ms, avg.latency_p99_ms, avg.delivery});
-    }
+    spec.value(static_cast<std::int64_t>(n), bench::with_n(n));
   }
-  bench::emit(table, args);
+
+  bench::emit(sim::run_sweep(spec, opt.threads),
+              {sim::sweep_metrics::latency_mean_ms().with_ci(),
+               sim::sweep_metrics::latency_p99_ms(),
+               sim::sweep_metrics::delivery()},
+              opt);
   return 0;
 }

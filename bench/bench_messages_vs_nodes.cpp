@@ -11,59 +11,51 @@
 int main(int argc, char** argv) {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
-  int seeds = static_cast<int>(args.get_int("seeds", 3));
-
+  bench::register_sweep_flags(args);
   // Default 256 B payloads keep the channel below collision saturation so
   // the dissemination-strategy difference is what the figure shows. Rerun
   // with --payload=1024 for the saturated regime, where flooding's
   // delivery collapses and byzcast trades extra recovery DATA for its
   // 1.0 delivery (see EXPERIMENTS.md E1 discussion).
-  auto payload = static_cast<std::size_t>(args.get_int("payload", 256));
+  args.add_flag("payload", 256, "application payload bytes");
+  if (args.handle_help(argv[0], std::cout)) return 0;
+  bench::SweepOptions opt = bench::sweep_options(args);
+  auto payload = static_cast<std::size_t>(args.get_int("payload"));
 
-  util::Table table({"n", "protocol", "data_pkts_per_bcast",
-                     "total_pkts_per_bcast", "bytes_per_bcast", "delivery"});
+  sim::ScenarioConfig base = bench::default_scenario(50);
+  base.payload_bytes = payload;
 
-  struct Variant {
-    const char* name;
-    std::function<void(sim::ScenarioConfig&)> apply;
-  };
-  std::vector<Variant> variants = {
-      {"flooding",
-       [](sim::ScenarioConfig& c) { c.protocol = sim::ProtocolKind::kFlooding; }},
-      {"byzcast-cds",
-       [](sim::ScenarioConfig& c) {
-         c.protocol_config.overlay_kind = overlay::OverlayKind::kCds;
-       }},
-      {"byzcast-misb",
-       [](sim::ScenarioConfig& c) {
-         c.protocol_config.overlay_kind = overlay::OverlayKind::kMisB;
-       }},
-      {"gossip-only",
-       [](sim::ScenarioConfig& c) {
-         c.protocol_config.overlay_kind = overlay::OverlayKind::kNone;
-       }},
-      {"f+1-overlays(f=1)",
-       [](sim::ScenarioConfig& c) {
-         c.protocol = sim::ProtocolKind::kMultiOverlay;
-         c.multi_overlay_count = 2;
-       }},
-  };
-
+  sim::SweepSpec spec;
+  spec.base(base).axis("n").replicas(opt.replicas).seed_base(100);
   for (std::size_t n : {25u, 50u, 100u, 150u, 200u}) {
-    for (const Variant& variant : variants) {
-      bench::Averaged avg = bench::run_averaged(
-          [&](std::uint64_t seed) {
-            sim::ScenarioConfig config = bench::default_scenario(n, seed);
-            config.payload_bytes = payload;
-            variant.apply(config);
-            return config;
-          },
-          seeds, 100 + n);
-      table.add_row({static_cast<std::int64_t>(n), std::string(variant.name),
-                     avg.data_packets_per_bcast, avg.total_packets_per_bcast,
-                     avg.bytes_per_bcast, avg.delivery});
-    }
+    spec.value(static_cast<std::int64_t>(n), bench::with_n(n));
   }
-  bench::emit(table, args);
+  spec.variant("flooding",
+               [](sim::ScenarioConfig& c) {
+                 c.protocol = sim::ProtocolKind::kFlooding;
+               })
+      .variant("byzcast-cds",
+               [](sim::ScenarioConfig& c) {
+                 c.protocol_config.overlay_kind = overlay::OverlayKind::kCds;
+               })
+      .variant("byzcast-misb",
+               [](sim::ScenarioConfig& c) {
+                 c.protocol_config.overlay_kind = overlay::OverlayKind::kMisB;
+               })
+      .variant("gossip-only",
+               [](sim::ScenarioConfig& c) {
+                 c.protocol_config.overlay_kind = overlay::OverlayKind::kNone;
+               })
+      .variant("f+1-overlays(f=1)", [](sim::ScenarioConfig& c) {
+        c.protocol = sim::ProtocolKind::kMultiOverlay;
+        c.multi_overlay_count = 2;
+      });
+
+  bench::emit(sim::run_sweep(spec, opt.threads),
+              {sim::sweep_metrics::data_pkts_per_bcast(),
+               sim::sweep_metrics::total_pkts_per_bcast(),
+               sim::sweep_metrics::bytes_per_bcast(),
+               sim::sweep_metrics::delivery().with_ci()},
+              opt);
   return 0;
 }

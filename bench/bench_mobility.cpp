@@ -12,34 +12,37 @@
 int main(int argc, char** argv) {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
-  int seeds = static_cast<int>(args.get_int("seeds", 3));
-  auto n = static_cast<std::size_t>(args.get_int("n", 50));
+  bench::register_sweep_flags(args);
+  args.add_flag("n", 50, "network size");
+  if (args.handle_help(argv[0], std::cout)) return 0;
+  bench::SweepOptions opt = bench::sweep_options(args);
+  auto n = static_cast<std::size_t>(args.get_int("n"));
 
-  util::Table table(
-      {"speed_mps", "protocol", "delivery", "latency_mean_ms",
-       "latency_p99_ms"});
+  sim::ScenarioConfig base = bench::default_scenario(n);
+  base.num_broadcasts = 16;
+  base.cooldown = des::seconds(15);
 
+  sim::SweepSpec spec;
+  spec.base(base)
+      .axis("speed_mps")
+      .protocols({sim::ProtocolKind::kByzcast, sim::ProtocolKind::kFlooding})
+      .replicas(opt.replicas)
+      .seed_base(600);
   for (double speed : {0.0, 1.0, 2.0, 5.0, 10.0}) {
-    for (bool flooding : {false, true}) {
-      bench::Averaged avg = bench::run_averaged(
-          [&](std::uint64_t seed) {
-            sim::ScenarioConfig config = bench::default_scenario(n, seed);
-            if (speed > 0) {
-              config.mobility = sim::MobilityKind::kRandomWaypoint;
-              config.min_speed_mps = std::max(0.5, speed / 2);
-              config.max_speed_mps = speed;
-              config.pause = des::seconds(1);
-            }
-            config.num_broadcasts = 16;
-            config.cooldown = des::seconds(15);
-            if (flooding) config.protocol = sim::ProtocolKind::kFlooding;
-            return config;
-          },
-          seeds, 600 + static_cast<std::uint64_t>(speed * 10));
-      table.add_row({speed, std::string(flooding ? "flooding" : "byzcast"),
-                     avg.delivery, avg.latency_mean_ms, avg.latency_p99_ms});
-    }
+    spec.value(speed, [speed](sim::ScenarioConfig& c) {
+      if (speed > 0) {
+        c.mobility = sim::MobilityKind::kRandomWaypoint;
+        c.min_speed_mps = std::max(0.5, speed / 2);
+        c.max_speed_mps = speed;
+        c.pause = des::seconds(1);
+      }
+    });
   }
-  bench::emit(table, args);
+
+  bench::emit(sim::run_sweep(spec, opt.threads),
+              {sim::sweep_metrics::delivery().with_ci(),
+               sim::sweep_metrics::latency_mean_ms(),
+               sim::sweep_metrics::latency_p99_ms()},
+              opt);
   return 0;
 }

@@ -2,15 +2,16 @@
 // overlays ("every message has to be sent f+1 times even if in practice
 // none of the devices suffered from a Byzantine fault").
 //
-// Two tables:
+// Two sweeps:
 //  1. Failure-free cost: the baseline's DATA cost grows with f+1, and —
 //     the applicability finding — at realistic density the f=3
 //     construction is frequently *infeasible* (node-disjoint backbones
 //     need dense graphs; "n/a" rows mark densities where no placement in
-//     the seed budget admitted the construction). Note the baseline here
-//     is idealized in its own favour: backbones are computed centrally
-//     and minimally, and it pays zero maintenance/gossip overhead, so its
-//     absolute packet counts are a lower bound.
+//     the engine's resample budget admitted the construction). Note the
+//     baseline here is idealized in its own favour: backbones are
+//     computed centrally and minimally, and it pays zero
+//     maintenance/gossip overhead, so its absolute packet counts are a
+//     lower bound.
 //  2. Delivery under mute attack: the baseline's redundancy-only defence
 //     degrades once mute nodes land on its backbones, while the paper's
 //     protocol recovers to full delivery — paying its gossip overhead
@@ -20,74 +21,57 @@
 int main(int argc, char** argv) {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
-  int seeds = static_cast<int>(args.get_int("seeds", 3));
-  auto n = static_cast<std::size_t>(args.get_int("n", 100));
+  bench::register_sweep_flags(args);
+  args.add_flag("n", 100, "network size");
+  if (args.handle_help(argv[0], std::cout)) return 0;
+  bench::SweepOptions opt = bench::sweep_options(args);
+  auto n = static_cast<std::size_t>(args.get_int("n"));
 
-  auto dense = [&](std::uint64_t seed) {
-    sim::ScenarioConfig config = bench::default_scenario(n, seed);
-    // Moderately dense (~16 neighbours per disk): f=1 almost always
-    // constructible, f=2 often, f=3 rarely.
-    double side = bench::density_side(n, config.tx_range, 16.0);
-    config.area = {side, side};
-    config.payload_bytes = 1024;
-    return config;
-  };
+  sim::ScenarioConfig dense = bench::default_scenario(n);
+  // Moderately dense (~16 neighbours per disk): f=1 almost always
+  // constructible, f=2 often, f=3 rarely.
+  double side = bench::density_side(n, dense.tx_range, 16.0);
+  dense.area = {side, side};
+  dense.payload_bytes = 1024;
 
-  auto add_variant = [&](util::Table& table, const std::string& name,
-                         std::size_t mute,
-                         std::function<void(sim::ScenarioConfig&)> apply) {
-    bench::Averaged avg = bench::run_averaged(
-        [&](std::uint64_t seed) {
-          sim::ScenarioConfig config = dense(seed);
-          if (mute > 0) {
-            config.adversaries = {{byz::AdversaryKind::kMute, mute}};
-          }
-          apply(config);
-          return config;
-        },
-        seeds, 800 + mute);
-    if (avg.runs == 0) {
-      table.add_row({name, std::string("n/a"), std::string("n/a"),
-                     std::string("infeasible at this density"), 0.0});
-      return;
-    }
-    table.add_row({name, avg.data_packets_per_bcast,
-                   avg.total_packets_per_bcast, avg.bytes_per_bcast,
-                   avg.delivery});
-  };
+  const std::vector<sim::MetricSpec> metrics = {
+      sim::sweep_metrics::data_pkts_per_bcast(),
+      sim::sweep_metrics::total_pkts_per_bcast(),
+      sim::sweep_metrics::bytes_per_bcast(),
+      sim::sweep_metrics::delivery()};
 
   std::printf("-- failure-free cost --\n");
   {
-    util::Table table({"protocol", "data_pkts_per_bcast",
-                       "total_pkts_per_bcast", "bytes_per_bcast",
-                       "delivery"});
-    add_variant(table, "byzcast", 0, [](sim::ScenarioConfig&) {});
+    sim::SweepSpec spec;
+    spec.base(dense).replicas(opt.replicas).seed_base(800);
+    spec.variant("byzcast", [](sim::ScenarioConfig&) {});
     for (int f : {1, 2, 3}) {
-      add_variant(table, "f+1-overlays(f=" + std::to_string(f) + ")", 0,
-                  [f](sim::ScenarioConfig& c) {
-                    c.protocol = sim::ProtocolKind::kMultiOverlay;
-                    c.multi_overlay_count = f + 1;
-                  });
+      spec.variant("f+1-overlays(f=" + std::to_string(f) + ")",
+                   [f](sim::ScenarioConfig& c) {
+                     c.protocol = sim::ProtocolKind::kMultiOverlay;
+                     c.multi_overlay_count = static_cast<std::size_t>(f) + 1;
+                   });
     }
-    bench::emit(table, args);
+    bench::emit(sim::run_sweep(spec, opt.threads), metrics, opt);
   }
 
   std::printf("\n-- delivery with f mute nodes --\n");
   {
-    util::Table table({"protocol", "data_pkts_per_bcast",
-                       "total_pkts_per_bcast", "bytes_per_bcast",
-                       "delivery"});
-    const std::size_t mute = n / 10;  // f = 10%% of the network
-    add_variant(table, "byzcast", mute, [](sim::ScenarioConfig&) {});
-    add_variant(table, "f+1-overlays(f=" + std::to_string(mute) + ")", mute,
-                [mute](sim::ScenarioConfig& c) {
-                  c.protocol = sim::ProtocolKind::kMultiOverlay;
-                  // f+1 overlays with f as large as the mute population is
-                  // infeasible; use the best constructible k instead
-                  // (k=2), which is how such systems get deployed.
-                  c.multi_overlay_count = 2;
-                });
-    bench::emit(table, args);
+    const std::size_t mute = n / 10;  // f = 10% of the network
+    sim::ScenarioConfig attacked = dense;
+    attacked.adversaries = {{byz::AdversaryKind::kMute, mute}};
+    sim::SweepSpec spec;
+    spec.base(attacked).replicas(opt.replicas).seed_base(800 + mute);
+    spec.variant("byzcast", [](sim::ScenarioConfig&) {});
+    spec.variant("f+1-overlays(f=" + std::to_string(mute) + ")",
+                 [](sim::ScenarioConfig& c) {
+                   c.protocol = sim::ProtocolKind::kMultiOverlay;
+                   // f+1 overlays with f as large as the mute population
+                   // is infeasible; use the best constructible k instead
+                   // (k=2), which is how such systems get deployed.
+                   c.multi_overlay_count = 2;
+                 });
+    bench::emit(sim::run_sweep(spec, opt.threads), metrics, opt);
   }
   return 0;
 }

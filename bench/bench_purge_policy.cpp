@@ -1,7 +1,8 @@
 // E13 — purge-policy extension (paper §3.2.2 names stability detection
 // as the alternative to timeout purging but builds only the timeout; we
 // build both): buffer occupancy over time and delivery under each
-// policy, on a sustained workload.
+// policy, on a sustained workload. Buffer sampling mid-run keeps this a
+// hand-driven timeline rather than a SweepSpec.
 //
 // Expected shape: identical delivery; under kStability the mean buffer
 // tracks the dissemination front (a few messages) while kTimeout grows
@@ -11,8 +12,12 @@
 int main(int argc, char** argv) {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
-  auto n = static_cast<std::size_t>(args.get_int("n", 40));
-  auto seed = static_cast<std::uint64_t>(args.get_int("seed", 21));
+  args.add_flag("n", 40, "network size")
+      .add_flag("seed", 21, "scenario seed")
+      .add_flag("csv", false, "emit CSV instead of the aligned table");
+  if (args.handle_help(argv[0], std::cout)) return 0;
+  auto n = static_cast<std::size_t>(args.get_int("n"));
+  auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
   util::Table table({"t_s", "policy", "mean_buffer", "max_buffer"});
   double delivery[2] = {0, 0};

@@ -19,39 +19,35 @@
 int main(int argc, char** argv) {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
-  int seeds = static_cast<int>(args.get_int("seeds", 3));
-  auto n = static_cast<std::size_t>(args.get_int("n", 60));
+  bench::register_sweep_flags(args);
+  args.add_flag("n", 60, "network size");
+  if (args.handle_help(argv[0], std::cout)) return 0;
+  bench::SweepOptions opt = bench::sweep_options(args);
+  auto n = static_cast<std::size_t>(args.get_int("n"));
 
-  util::Table table({"channel", "delivery", "latency_mean_ms",
-                     "collisions", "total_pkts_per_bcast"});
+  sim::ScenarioConfig base = bench::default_scenario(n);
+  base.adversaries = {{byz::AdversaryKind::kMute, n / 6}};
 
-  struct Variant {
-    const char* name;
-    std::function<void(sim::ScenarioConfig&)> apply;
-  };
-  std::vector<Variant> variants = {
-      {"ideal (no collisions)",
-       [](sim::ScenarioConfig& c) { c.medium.collisions_enabled = false; }},
-      {"jitter (default)", [](sim::ScenarioConfig&) {}},
-      {"carrier-sense",
-       [](sim::ScenarioConfig& c) { c.medium.carrier_sense = true; }},
-      {"fading+shadowing",
-       [](sim::ScenarioConfig& c) { c.realistic_radio = true; }},
-  };
+  sim::SweepSpec spec;
+  spec.base(base)
+      .variant_axis("channel")
+      .replicas(opt.replicas)
+      .seed_base(1200);
+  spec.variant("ideal (no collisions)",
+               [](sim::ScenarioConfig& c) {
+                 c.medium.collisions_enabled = false;
+               })
+      .variant("jitter (default)", [](sim::ScenarioConfig&) {})
+      .variant("carrier-sense",
+               [](sim::ScenarioConfig& c) { c.medium.carrier_sense = true; })
+      .variant("fading+shadowing",
+               [](sim::ScenarioConfig& c) { c.realistic_radio = true; });
 
-  for (const Variant& variant : variants) {
-    bench::Averaged avg = bench::run_averaged(
-        [&](std::uint64_t seed) {
-          sim::ScenarioConfig config = bench::default_scenario(n, seed);
-          config.adversaries = {{byz::AdversaryKind::kMute, n / 6}};
-          variant.apply(config);
-          return config;
-        },
-        seeds, 1200);
-    table.add_row({std::string(variant.name), avg.delivery,
-                   avg.latency_mean_ms, avg.collisions,
-                   avg.total_packets_per_bcast});
-  }
-  bench::emit(table, args);
+  bench::emit(sim::run_sweep(spec, opt.threads),
+              {sim::sweep_metrics::delivery().with_ci(),
+               sim::sweep_metrics::latency_mean_ms(),
+               sim::sweep_metrics::collisions(),
+               sim::sweep_metrics::total_pkts_per_bcast()},
+              opt);
   return 0;
 }

@@ -6,6 +6,11 @@
 // suspicion pairs exist, and whether the correct overlay members alone
 // form a healthy backbone.
 //
+// A timeline over one run is inherently serial, so this bench drives the
+// simulator directly instead of declaring a SweepSpec; the shared flag
+// registry and the connected-graph resampling rule still come from the
+// sweep layer.
+//
 // Expected shape: three phases — a fast, healthy baseline before onset;
 // a degradation window where traffic crawls through gossip recovery and
 // suspicion pairs climb as MUTE detectors fire; and a healed tail where
@@ -15,10 +20,16 @@
 int main(int argc, char** argv) {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
-  auto seed = static_cast<std::uint64_t>(args.get_int("seed", 9));
-  auto n = static_cast<std::size_t>(args.get_int("n", 30));
-  auto bcasts = static_cast<std::size_t>(args.get_int("bcasts", 40));
-  auto onset_s = args.get_double("onset", 10.0);
+  args.add_flag("seed", 9, "base scenario seed (resampled if partitioned)")
+      .add_flag("n", 30, "network size")
+      .add_flag("bcasts", 40, "broadcasts in the timeline")
+      .add_flag("onset", 10.0, "seconds until the faulty fifth turns mute")
+      .add_flag("csv", false, "emit CSV instead of the aligned table");
+  if (args.handle_help(argv[0], std::cout)) return 0;
+  auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  auto n = static_cast<std::size_t>(args.get_int("n"));
+  auto bcasts = static_cast<std::size_t>(args.get_int("bcasts"));
+  auto onset_s = args.get_double("onset");
 
   sim::ScenarioConfig config;
   config.seed = seed;
@@ -33,14 +44,8 @@ int main(int argc, char** argv) {
   config.protocol_config.mute.suspicion_interval = des::seconds(60);
 
   // Resample seeds until the paper's assumption (connected correct graph)
-  // holds.
-  std::unique_ptr<sim::Network> network;
-  for (int tries = 0; tries < 50; ++tries) {
-    network = std::make_unique<sim::Network>(config);
-    if (network->correct_graph_connected()) break;
-    ++config.seed;
-    network.reset();
-  }
+  // holds — same rule the sweep engine applies per replica.
+  std::unique_ptr<sim::Network> network = sim::make_connected_network(config);
   if (!network) return 1;
 
   des::Simulator& sim = network->simulator();

@@ -1,17 +1,22 @@
 // Shared helpers for the experiment benches (EXPERIMENTS.md).
 //
-// Every bench prints one paper-style table via util::Table; pass --csv to
-// any bench for machine-readable output. Points are averaged over
-// `--seeds` repetitions (default 3); seeds that violate the paper's
-// connected-correct-graph assumption are resampled so a partitioned
-// network never pollutes a mean.
+// Every bench declares its experiment as a sim::SweepSpec (base scenario +
+// axis + variants + replicas) and executes it on sim::SweepRunner's thread
+// pool; per-point averaging and 95% CIs come from the engine, and output
+// is byte-identical at any --threads value. The flags every bench shares
+// (--seeds, --threads, --csv, --json) are registered in exactly one place
+// here; seeds whose correct graph is disconnected are resampled by the
+// engine so a partitioned network never pollutes a mean.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <iostream>
+#include <memory>
+#include <stdexcept>
 
-#include "sim/runner.h"
+#include "sim/sweep.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -26,9 +31,11 @@ inline double density_side(std::size_t n, double range,
                            neighbors_per_disk);
 }
 
-/// Baseline scenario all experiments start from.
+/// Baseline scenario all experiments start from. The seed is irrelevant
+/// for sweep bases (the engine derives per-replica seeds); it matters
+/// only for direct single-run uses.
 inline sim::ScenarioConfig default_scenario(std::size_t n,
-                                            std::uint64_t seed) {
+                                            std::uint64_t seed = 0) {
   sim::ScenarioConfig config;
   config.seed = seed;
   config.n = n;
@@ -47,7 +54,84 @@ inline sim::ScenarioConfig default_scenario(std::size_t n,
   return config;
 }
 
-struct Averaged {
+/// Mutator that re-bases a sweep on `n` nodes at standard density — the
+/// common "axis is network size" edit (n drives the field dimensions).
+inline sim::SweepSpec::Mutator with_n(std::size_t n,
+                                      double neighbors_per_disk = 10.0) {
+  return [n, neighbors_per_disk](sim::ScenarioConfig& c) {
+    c.n = n;
+    double side = density_side(n, c.tx_range, neighbors_per_disk);
+    c.area = {side, side};
+  };
+}
+
+// --- shared flags -----------------------------------------------------------
+
+/// Execution/output options every bench shares.
+struct SweepOptions {
+  std::size_t replicas = 3;
+  unsigned threads = 0;  ///< 0 = all hardware threads
+  bool csv = false;
+  bool json = false;
+};
+
+/// Registers the shared flags (once, here, instead of 16 copies). Call
+/// before handle_help(); per-bench flags are added alongside.
+inline void register_sweep_flags(util::CliArgs& args,
+                                 std::int64_t default_replicas = 3) {
+  args.add_flag("seeds", default_replicas, "replicas averaged per sweep point")
+      .add_flag("threads", 0,
+                "worker threads for replica execution (0 = all hardware "
+                "threads; any value emits identical results)")
+      .add_flag("csv", false, "emit CSV instead of the aligned table")
+      .add_flag("json", false,
+                "emit JSON with mean/stddev/ci95 per point (benches with "
+                "custom tables fall back to --csv)");
+}
+
+inline SweepOptions sweep_options(const util::CliArgs& args) {
+  SweepOptions opt;
+  opt.replicas = static_cast<std::size_t>(args.get_int("seeds"));
+  opt.threads = static_cast<unsigned>(args.get_int("threads"));
+  opt.csv = args.get_bool("csv");
+  opt.json = args.get_bool("json");
+  return opt;
+}
+
+// --- output -----------------------------------------------------------------
+
+/// Prints a plain table as text or CSV per the --csv flag (timeline
+/// benches that build custom tables).
+inline void emit(const util::Table& table, const util::CliArgs& args) {
+  if (args.get_bool("csv", false)) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+/// Prints a sweep per the --csv/--json flags: JSON carries the full
+/// per-point Summary of every metric; the table shows the reduced value
+/// (plus `_ci95` columns where the metric asks for them).
+inline void emit(const sim::SweepResult& result,
+                 const std::vector<sim::MetricSpec>& metrics,
+                 const SweepOptions& opt) {
+  if (opt.json) {
+    result.write_json(std::cout, metrics);
+    return;
+  }
+  util::Table table = result.to_table(metrics);
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+// --- deprecated shim (one PR of grace for out-of-tree scripts) --------------
+
+struct [[deprecated("use sim::SweepSpec + sim::SweepRunner; mean/stddev/ci95 "
+                    "come from SweepPoint::summarize")]] Averaged {
   double delivery = 0;
   double latency_mean_ms = 0;
   double latency_p99_ms = 0;
@@ -59,9 +143,12 @@ struct Averaged {
   int runs = 0;
 };
 
-/// Runs `make_config(seed)` over several seeds and averages the standard
-/// metrics. Seeds whose correct graph is disconnected are replaced (up to
-/// 50 draws) so every point meets the paper's standing assumption.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+/// Serial predecessor of the sweep engine, kept source-compatible for one
+/// PR. New code should declare a SweepSpec instead: the engine runs
+/// replicas in parallel and owns the resampling rule this loop hand-rolls.
+[[deprecated("use sim::SweepSpec + sim::SweepRunner")]]
 inline Averaged run_averaged(
     const std::function<sim::ScenarioConfig(std::uint64_t)>& make_config,
     int repetitions, std::uint64_t seed_base = 1000) {
@@ -75,8 +162,7 @@ inline Averaged run_averaged(
     try {
       network = std::make_unique<sim::Network>(config);
     } catch (const std::runtime_error&) {
-      // e.g. this placement cannot supply k disjoint backbones: resample.
-      continue;
+      continue;  // e.g. this placement cannot supply k disjoint backbones
     }
     if (!network->correct_graph_connected()) continue;
     sim::RunResult result = sim::run_workload(*network);
@@ -107,14 +193,6 @@ inline Averaged run_averaged(
   }
   return avg;
 }
-
-/// Prints the table as text or CSV per the --csv flag.
-inline void emit(const util::Table& table, const util::CliArgs& args) {
-  if (args.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-}
+#pragma GCC diagnostic pop
 
 }  // namespace byzcast::bench

@@ -1,65 +1,64 @@
 // Side-by-side run of the three dissemination strategies on the same
 // topology and workload — the quickest way to see the paper's trade-off
-// space on one screen.
+// space on one screen. Declared as a single-replica sim::SweepSpec: the
+// three variants share one derived seed, so the comparison really is on
+// the same placement.
 //
 //   ./build/examples/protocol_comparison [--n=60] [--mute=10]
 #include <cstdio>
 #include <iostream>
 
-#include "sim/runner.h"
+#include "sim/sweep.h"
 #include "util/cli.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
-  auto n = static_cast<std::size_t>(args.get_int("n", 60));
-  auto mute = static_cast<std::size_t>(args.get_int("mute", 10));
-  auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  args.add_flag("n", 60, "network size")
+      .add_flag("mute", 10, "mute adversaries placed on the topology")
+      .add_flag("seed", 7, "sweep seed base");
+  if (args.handle_help(argv[0], std::cout)) return 0;
+  auto n = static_cast<std::size_t>(args.get_int("n"));
+  auto mute = static_cast<std::size_t>(args.get_int("mute"));
+  auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   args.reject_unknown();
 
-  util::Table table({"protocol", "delivery", "latency_mean_ms",
-                     "data_pkts", "total_pkts", "total_bytes"});
-
-  struct Row {
-    const char* name;
-    sim::ProtocolKind protocol;
-    int overlays;
-  };
-  for (const Row& row : {Row{"byzcast", sim::ProtocolKind::kByzcast, 0},
-                         Row{"flooding", sim::ProtocolKind::kFlooding, 0},
-                         Row{"2 disjoint overlays",
-                             sim::ProtocolKind::kMultiOverlay, 2}}) {
-    sim::ScenarioConfig config;
-    config.seed = seed;
-    config.n = n;
-    // Dense enough (~16 neighbours each) that even the disjoint-overlay
-    // baseline can build its backbones.
-    config.area = {480, 480};
-    config.tx_range = 140;
-    config.protocol = row.protocol;
-    if (row.overlays > 0) config.multi_overlay_count = row.overlays;
-    if (mute > 0) {
-      config.adversaries = {{byz::AdversaryKind::kMute, mute}};
-    }
-    config.num_broadcasts = 20;
-    config.cooldown = des::seconds(15);
-    try {
-      sim::RunResult result = sim::run_scenario(config);
-      const stats::Metrics& m = result.metrics;
-      table.add_row({std::string(row.name), m.delivery_ratio(),
-                     1e3 * m.latency().mean(),
-                     static_cast<std::int64_t>(m.packets(stats::MsgKind::kData)),
-                     static_cast<std::int64_t>(m.total_packets()),
-                     static_cast<std::int64_t>(m.total_packet_bytes())});
-    } catch (const std::runtime_error& e) {
-      table.add_row({std::string(row.name), 0.0, 0.0, std::string("n/a"),
-                     std::string("n/a"), std::string(e.what())});
-    }
+  sim::ScenarioConfig base;
+  base.n = n;
+  // Dense enough (~16 neighbours each) that even the disjoint-overlay
+  // baseline can build its backbones.
+  base.area = {480, 480};
+  base.tx_range = 140;
+  if (mute > 0) {
+    base.adversaries = {{byz::AdversaryKind::kMute, mute}};
   }
+  base.num_broadcasts = 20;
+  base.cooldown = des::seconds(15);
+
+  sim::SweepSpec spec;
+  spec.base(base).replicas(1).seed_base(seed);
+  spec.variant("byzcast", [](sim::ScenarioConfig&) {})
+      .variant("flooding",
+               [](sim::ScenarioConfig& c) {
+                 c.protocol = sim::ProtocolKind::kFlooding;
+               })
+      .variant("2 disjoint overlays", [](sim::ScenarioConfig& c) {
+        c.protocol = sim::ProtocolKind::kMultiOverlay;
+        c.multi_overlay_count = 2;
+      });
+
+  sim::SweepResult result = sim::run_sweep(spec);
+
   std::printf("same topology (n=%zu, %zu mute nodes), 20 broadcasts:\n\n", n,
               mute);
-  table.print(std::cout);
+  result
+      .to_table({sim::sweep_metrics::delivery(),
+                 sim::sweep_metrics::latency_mean_ms(),
+                 sim::sweep_metrics::data_pkts_per_bcast(),
+                 sim::sweep_metrics::total_pkts_per_bcast(),
+                 sim::sweep_metrics::bytes_per_bcast()})
+      .print(std::cout);
   std::printf(
       "\nreading: byzcast pays gossip overhead for delivery despite the "
       "mute nodes;\nflooding survives on raw redundancy but loses to "

@@ -1,0 +1,467 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/network_builder.h"
+
+namespace byzcast::sim {
+
+namespace {
+
+/// splitmix64 finalizer (same construction des::Rng seeds through):
+/// decorrelates neighbouring axis indices so point seed ranges do not
+/// overlap for any realistic attempt budget.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Runs body(0..count) across `threads` workers pulling from a shared
+/// index. Exceptions are captured per task and the lowest-index one is
+/// rethrown after the join, so failure behaviour does not depend on
+/// scheduling either.
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  std::size_t workers = std::min<std::size_t>(threads, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Shortest-round-trip double formatting, locale-independent: equal
+/// doubles always print equal bytes, which is what sweep_test diffs.
+std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_cell(const util::Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    return "\"" + json_escape(*s) + "\"";
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, *i);
+    return buf;
+  }
+  return json_double(std::get<double>(cell));
+}
+
+}  // namespace
+
+// --- standard metrics -------------------------------------------------------
+
+namespace sweep_metrics {
+
+namespace {
+double per_bcast(const ReplicaView& v, double total) {
+  auto n = static_cast<double>(v.config.num_broadcasts);
+  return n == 0 ? 0 : total / n;
+}
+}  // namespace
+
+MetricSpec delivery() {
+  return {"delivery",
+          [](const ReplicaView& v) { return v.result.metrics.delivery_ratio(); }};
+}
+MetricSpec latency_mean_ms() {
+  return {"latency_mean_ms", [](const ReplicaView& v) {
+            return 1e3 * v.result.metrics.latency().mean();
+          }};
+}
+MetricSpec latency_p99_ms() {
+  return {"latency_p99_ms", [](const ReplicaView& v) {
+            return 1e3 * v.result.metrics.latency().percentile(0.99);
+          }};
+}
+MetricSpec latency_max_s() {
+  return {"latency_max_s",
+          [](const ReplicaView& v) { return v.result.metrics.latency().max(); },
+          MetricSpec::Reduce::kMax};
+}
+MetricSpec data_pkts_per_bcast() {
+  return {"data_pkts_per_bcast", [](const ReplicaView& v) {
+            return per_bcast(v, static_cast<double>(v.result.metrics.packets(
+                                    stats::MsgKind::kData)));
+          }};
+}
+MetricSpec total_pkts_per_bcast() {
+  return {"total_pkts_per_bcast", [](const ReplicaView& v) {
+            return per_bcast(
+                v, static_cast<double>(v.result.metrics.total_packets()));
+          }};
+}
+MetricSpec bytes_per_bcast() {
+  return {"bytes_per_bcast", [](const ReplicaView& v) {
+            return per_bcast(
+                v, static_cast<double>(v.result.metrics.total_packet_bytes()));
+          }};
+}
+MetricSpec collisions() {
+  return {"collisions", [](const ReplicaView& v) {
+            return static_cast<double>(v.result.metrics.frames_collided());
+          }};
+}
+MetricSpec availability() {
+  return {"availability",
+          [](const ReplicaView& v) { return v.result.availability; }};
+}
+MetricSpec observed(std::string name, std::size_t index,
+                    MetricSpec::Reduce reduce) {
+  return {std::move(name),
+          [index](const ReplicaView& v) { return v.observed.at(index); },
+          reduce};
+}
+
+}  // namespace sweep_metrics
+
+// --- SweepSpec --------------------------------------------------------------
+
+SweepSpec& SweepSpec::base(ScenarioConfig config) {
+  base_ = std::move(config);
+  return *this;
+}
+SweepSpec& SweepSpec::axis(std::string name) {
+  axis_name_ = std::move(name);
+  return *this;
+}
+SweepSpec& SweepSpec::value(util::Cell label, Mutator apply) {
+  values_.push_back({std::move(label), std::move(apply)});
+  return *this;
+}
+SweepSpec& SweepSpec::variant_axis(std::string name) {
+  variant_axis_ = std::move(name);
+  return *this;
+}
+SweepSpec& SweepSpec::variant(std::string name, Mutator apply) {
+  variants_.push_back({std::move(name), std::move(apply)});
+  return *this;
+}
+SweepSpec& SweepSpec::protocols(const std::vector<ProtocolKind>& kinds) {
+  for (ProtocolKind kind : kinds) {
+    variant(protocol_kind_name(kind),
+            [kind](ScenarioConfig& c) { c.protocol = kind; });
+  }
+  return *this;
+}
+SweepSpec& SweepSpec::replicas(std::size_t n) {
+  replicas_ = n;
+  return *this;
+}
+SweepSpec& SweepSpec::seed_base(std::uint64_t s) {
+  seed_base_ = s;
+  return *this;
+}
+SweepSpec& SweepSpec::max_resamples(std::size_t extra) {
+  max_resamples_ = extra;
+  return *this;
+}
+SweepSpec& SweepSpec::observe(std::string name, Observer fn) {
+  observer_names_.push_back(std::move(name));
+  observers_.push_back(std::move(fn));
+  return *this;
+}
+
+// --- SweepPoint / SweepResult ----------------------------------------------
+
+stats::Summary SweepPoint::summarize(const MetricSpec& metric) const {
+  stats::Summary summary;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    ReplicaView view{replicas[i], config, observed[i]};
+    summary.add(metric.value(view));
+  }
+  return summary;
+}
+
+util::Table SweepResult::to_table(
+    const std::vector<MetricSpec>& metrics) const {
+  std::vector<std::string> columns;
+  if (!axis_name.empty()) columns.push_back(axis_name);
+  if (!variant_axis.empty()) columns.push_back(variant_axis);
+  for (const MetricSpec& m : metrics) {
+    columns.push_back(m.name);
+    if (m.ci && m.reduce == MetricSpec::Reduce::kMean) {
+      columns.push_back(m.name + "_ci95");
+    }
+  }
+  util::Table table(std::move(columns));
+  for (const SweepPoint& point : points) {
+    std::vector<util::Cell> row;
+    if (!axis_name.empty()) row.push_back(point.axis_value);
+    if (!variant_axis.empty()) row.push_back(point.variant);
+    for (const MetricSpec& m : metrics) {
+      if (!point.feasible()) {
+        row.emplace_back(std::string("n/a"));
+        if (m.ci && m.reduce == MetricSpec::Reduce::kMean) {
+          row.emplace_back(std::string("n/a"));
+        }
+        continue;
+      }
+      stats::Summary s = point.summarize(m);
+      switch (m.reduce) {
+        case MetricSpec::Reduce::kMean:
+          row.emplace_back(s.mean());
+          if (m.ci) row.emplace_back(s.ci95());
+          break;
+        case MetricSpec::Reduce::kMax:
+          row.emplace_back(s.max());
+          break;
+        case MetricSpec::Reduce::kSum:
+          row.emplace_back(s.sum());
+          break;
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void SweepResult::write_json(std::ostream& os,
+                             const std::vector<MetricSpec>& metrics) const {
+  os << "{\n";
+  os << "  \"axis\": \"" << json_escape(axis_name) << "\",\n";
+  os << "  \"variant_axis\": \"" << json_escape(variant_axis) << "\",\n";
+  os << "  \"points\": [";
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const SweepPoint& point = points[p];
+    os << (p == 0 ? "\n" : ",\n") << "    {";
+    const char* sep = "\n";
+    if (!axis_name.empty()) {
+      os << sep << "      \"" << json_escape(axis_name)
+         << "\": " << json_cell(point.axis_value);
+      sep = ",\n";
+    }
+    if (!variant_axis.empty()) {
+      os << sep << "      \"" << json_escape(variant_axis) << "\": \""
+         << json_escape(point.variant) << "\"";
+      sep = ",\n";
+    }
+    os << sep << "      \"replicas\": " << point.replicas.size() << ",\n";
+    os << "      \"attempts\": " << point.attempts << ",\n";
+    os << "      \"seeds\": [";
+    for (std::size_t i = 0; i < point.seeds.size(); ++i) {
+      os << (i ? ", " : "") << point.seeds[i];
+    }
+    os << "],\n";
+    os << "      \"feasible\": " << (point.feasible() ? "true" : "false")
+       << ",\n";
+    os << "      \"metrics\": {";
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      const MetricSpec& metric = metrics[m];
+      os << (m == 0 ? "\n" : ",\n") << "        \""
+         << json_escape(metric.name) << "\": ";
+      if (!point.feasible()) {
+        os << "null";
+        continue;
+      }
+      stats::Summary s = point.summarize(metric);
+      switch (metric.reduce) {
+        case MetricSpec::Reduce::kMean:
+          os << "{\"mean\": " << json_double(s.mean())
+             << ", \"stddev\": " << json_double(s.stddev())
+             << ", \"ci95\": " << json_double(s.ci95())
+             << ", \"min\": " << json_double(s.min())
+             << ", \"max\": " << json_double(s.max())
+             << ", \"count\": " << s.count() << "}";
+          break;
+        case MetricSpec::Reduce::kMax:
+          os << "{\"max\": " << json_double(s.max())
+             << ", \"count\": " << s.count() << "}";
+          break;
+        case MetricSpec::Reduce::kSum:
+          os << "{\"sum\": " << json_double(s.sum())
+             << ", \"count\": " << s.count() << "}";
+          break;
+      }
+    }
+    os << "\n      }\n    }";
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string SweepResult::to_json(const std::vector<MetricSpec>& metrics) const {
+  std::ostringstream os;
+  write_json(os, metrics);
+  return os.str();
+}
+
+// --- SweepRunner ------------------------------------------------------------
+
+std::uint64_t replica_seed(std::uint64_t seed_base, std::size_t axis_index,
+                           std::size_t attempt) {
+  return mix64(seed_base ^ static_cast<std::uint64_t>(axis_index + 1)) +
+         attempt;
+}
+
+SweepRunner::SweepRunner(unsigned threads)
+    : threads_(threads != 0 ? threads
+                            : std::max(1u, std::thread::hardware_concurrency())) {}
+
+SweepResult SweepRunner::run(const SweepSpec& spec) const {
+  SweepResult result;
+  if (!spec.values_.empty()) {
+    result.axis_name = spec.axis_name_.empty() ? "axis" : spec.axis_name_;
+  }
+  if (!spec.variants_.empty()) result.variant_axis = spec.variant_axis_;
+
+  // Materialize the point list, axis-major. A spec with no axis values
+  // (or no variants) still contributes one implicit entry on that
+  // dimension.
+  std::size_t axis_count = std::max<std::size_t>(1, spec.values_.size());
+  std::size_t variant_count = std::max<std::size_t>(1, spec.variants_.size());
+  for (std::size_t a = 0; a < axis_count; ++a) {
+    for (std::size_t v = 0; v < variant_count; ++v) {
+      SweepPoint point;
+      point.axis_index = a;
+      point.variant_index = v;
+      point.config = spec.base_;
+      if (a < spec.values_.size()) {
+        point.axis_value = spec.values_[a].label;
+        if (spec.values_[a].apply) spec.values_[a].apply(point.config);
+      }
+      if (v < spec.variants_.size()) {
+        point.variant = spec.variants_[v].name;
+        if (spec.variants_[v].apply) spec.variants_[v].apply(point.config);
+      }
+      point.config.seed = 0;
+      result.points.push_back(std::move(point));
+    }
+  }
+
+  struct Task {
+    std::size_t point;
+    std::size_t attempt;
+  };
+  enum class Status { kFailed, kOk };
+  struct Outcome {
+    Status status = Status::kFailed;
+    RunResult run;
+    std::vector<double> observed;
+  };
+
+  // Wave scheduling: each wave schedules, for every unfinished point,
+  // exactly as many fresh attempts as replicas it still needs, runs them
+  // all on the pool, then folds outcomes in attempt order. Which seeds
+  // end up accepted therefore depends only on the per-seed simulations —
+  // never on worker interleaving. Most waves after the first are empty or
+  // tiny (resampled disconnected placements).
+  const std::size_t budget = spec.replicas_ + spec.max_resamples_;
+  std::vector<std::size_t> next_attempt(result.points.size(), 0);
+  while (true) {
+    std::vector<Task> tasks;
+    for (std::size_t p = 0; p < result.points.size(); ++p) {
+      SweepPoint& point = result.points[p];
+      std::size_t needed =
+          spec.replicas_ > point.replicas.size()
+              ? spec.replicas_ - point.replicas.size()
+              : 0;
+      std::size_t available =
+          budget > next_attempt[p] ? budget - next_attempt[p] : 0;
+      for (std::size_t i = 0; i < std::min(needed, available); ++i) {
+        tasks.push_back({p, next_attempt[p]++});
+      }
+    }
+    if (tasks.empty()) break;
+
+    std::vector<Outcome> outcomes(tasks.size());
+    parallel_for(tasks.size(), threads_, [&](std::size_t t) {
+      const Task& task = tasks[t];
+      ScenarioConfig config = result.points[task.point].config;
+      config.seed = replica_seed(spec.seed_base_,
+                                 result.points[task.point].axis_index,
+                                 task.attempt);
+      Outcome& out = outcomes[t];
+      std::unique_ptr<Network> network;
+      try {
+        network = std::make_unique<Network>(config);
+      } catch (const std::runtime_error&) {
+        // Infeasible placement for this seed (e.g. no k disjoint
+        // backbones): counts as a resampled attempt, like run_averaged
+        // always treated it.
+        return;
+      }
+      if (!network->correct_graph_connected()) return;
+      out.run = run_workload(*network);
+      out.observed.reserve(spec.observers_.size());
+      for (const SweepSpec::Observer& observe : spec.observers_) {
+        out.observed.push_back(observe(*network, out.run));
+      }
+      out.status = Status::kOk;
+    });
+
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      SweepPoint& point = result.points[tasks[t].point];
+      ++point.attempts;
+      if (outcomes[t].status != Status::kOk) continue;
+      if (point.replicas.size() >= spec.replicas_) continue;
+      point.seeds.push_back(replica_seed(spec.seed_base_, point.axis_index,
+                                         tasks[t].attempt));
+      point.replicas.push_back(std::move(outcomes[t].run));
+      point.observed.push_back(std::move(outcomes[t].observed));
+    }
+  }
+  return result;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, unsigned threads) {
+  return SweepRunner(threads).run(spec);
+}
+
+std::unique_ptr<Network> make_connected_network(ScenarioConfig config,
+                                                std::size_t max_tries) {
+  for (std::size_t i = 0; i < max_tries; ++i, ++config.seed) {
+    std::unique_ptr<Network> network;
+    try {
+      network = std::make_unique<Network>(config);
+    } catch (const std::runtime_error&) {
+      continue;
+    }
+    if (network->correct_graph_connected()) return network;
+  }
+  return nullptr;
+}
+
+}  // namespace byzcast::sim

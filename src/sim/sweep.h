@@ -1,0 +1,218 @@
+// Declarative seed-averaged sweeps with a parallel replica executor
+// (DESIGN.md §9).
+//
+// Every experiment in EXPERIMENTS.md has the same shape: take a base
+// ScenarioConfig, vary one axis (and optionally a protocol/variant
+// dimension), run many independent (config, seed) replicas per point, and
+// report per-point mean / stddev / 95% CI. SweepSpec declares that shape
+// once; SweepRunner executes the replicas on a thread pool. Determinism
+// is preserved by construction:
+//
+//  * replica seeds derive only from (seed_base, axis index, attempt), so
+//    which simulations run never depends on scheduling — and variants at
+//    the same axis value share seeds, keeping comparisons paired;
+//  * workers only fill preallocated slots; acceptance (the connected-
+//    correct-graph resampling rule) and all reductions happen on the
+//    coordinator in attempt order — so tables and JSON are byte-identical
+//    at any --threads value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "stats/summary.h"
+#include "util/table.h"
+
+namespace byzcast::sim {
+
+/// One replica as the emitters see it: the run's results plus the point
+/// config it ran under (seed aside) and any spec-declared observations.
+struct ReplicaView {
+  const RunResult& result;
+  const ScenarioConfig& config;
+  const std::vector<double>& observed;  ///< SweepSpec::observe values
+};
+
+/// One column of sweep output: a scalar extracted per replica and how to
+/// reduce it across a point's replicas.
+struct MetricSpec {
+  enum class Reduce { kMean, kMax, kSum };
+
+  std::string name;
+  std::function<double(const ReplicaView&)> value;
+  Reduce reduce = Reduce::kMean;
+  /// Adds a `<name>_ci95` column next to the mean in tables (JSON always
+  /// carries the full Summary for kMean metrics).
+  bool ci = false;
+
+  MetricSpec&& with_ci() && {
+    ci = true;
+    return std::move(*this);
+  }
+};
+
+/// The standard metric set benches share (definitions: stats/metrics.h).
+namespace sweep_metrics {
+MetricSpec delivery();
+MetricSpec latency_mean_ms();
+MetricSpec latency_p99_ms();
+MetricSpec latency_max_s();          ///< reduced with max, like the E7 bound
+MetricSpec data_pkts_per_bcast();
+MetricSpec total_pkts_per_bcast();
+MetricSpec bytes_per_bcast();
+MetricSpec collisions();
+MetricSpec availability();
+/// The i-th SweepSpec::observe() value.
+MetricSpec observed(std::string name, std::size_t index,
+                    MetricSpec::Reduce reduce = MetricSpec::Reduce::kMean);
+}  // namespace sweep_metrics
+
+class Network;
+
+/// Declarative sweep description. Builder-style: every setter returns
+/// *this so specs read as one expression. A spec with no axis values and
+/// no variants runs a single point (the base config).
+class SweepSpec {
+ public:
+  using Mutator = std::function<void(ScenarioConfig&)>;
+  /// Evaluated on the worker after each replica finishes, while the
+  /// Network is still alive — for observables RunResult does not carry
+  /// (trust levels, store sizes, trace events, ...).
+  using Observer = std::function<double(Network&, const RunResult&)>;
+
+  /// Base scenario every point starts from (seed is overwritten per
+  /// replica).
+  SweepSpec& base(ScenarioConfig config);
+  /// Names the axis column in tables/JSON.
+  SweepSpec& axis(std::string name);
+  /// Appends one axis value: its printed label and the config edit it
+  /// performs (which may rebuild dependent fields, e.g. area from n).
+  SweepSpec& value(util::Cell label, Mutator apply);
+  /// Names the variant column (default "protocol", printed only when
+  /// variants exist).
+  SweepSpec& variant_axis(std::string name);
+  /// Appends one variant; the cross product axis x variants defines the
+  /// point list, axis-major — matching the row order benches print.
+  SweepSpec& variant(std::string name, Mutator apply);
+  /// Sugar: one variant per protocol kind, named like the kind.
+  SweepSpec& protocols(const std::vector<ProtocolKind>& kinds);
+  /// Replicas per point (the old --seeds); default 3.
+  SweepSpec& replicas(std::size_t n);
+  /// Base of the deterministic seed derivation; default 1000.
+  SweepSpec& seed_base(std::uint64_t s);
+  /// Extra attempts allowed per point when seeds are resampled because
+  /// the correct graph came up disconnected (or the placement was
+  /// infeasible); default 50, the historical bench budget.
+  SweepSpec& max_resamples(std::size_t extra);
+  /// Declares a named per-replica observation; see Observer. Values land
+  /// in ReplicaView::observed in declaration order and are addressable as
+  /// metrics via sweep_metrics::observed().
+  SweepSpec& observe(std::string name, Observer fn);
+
+ private:
+  friend class SweepRunner;
+  friend struct SweepResult;
+
+  struct AxisValue {
+    util::Cell label;
+    Mutator apply;
+  };
+  struct Variant {
+    std::string name;
+    Mutator apply;
+  };
+
+  ScenarioConfig base_{};
+  std::string axis_name_;
+  std::vector<AxisValue> values_;
+  std::string variant_axis_ = "protocol";
+  std::vector<Variant> variants_;
+  std::size_t replicas_ = 3;
+  std::uint64_t seed_base_ = 1000;
+  std::size_t max_resamples_ = 50;
+  std::vector<std::string> observer_names_;
+  std::vector<Observer> observers_;
+};
+
+/// One (axis value, variant) cell of the sweep with its accepted
+/// replicas, in seed order.
+struct SweepPoint {
+  util::Cell axis_value;     ///< meaningful when the spec has axis values
+  std::string variant;       ///< empty when the spec has no variants
+  std::size_t axis_index = 0;
+  std::size_t variant_index = 0;
+  ScenarioConfig config;     ///< base + axis + variant mutations (seed = 0)
+
+  std::vector<std::uint64_t> seeds;        ///< accepted replica seeds
+  std::vector<RunResult> replicas;         ///< 1:1 with seeds
+  std::vector<std::vector<double>> observed;  ///< 1:1 with seeds
+  std::size_t attempts = 0;  ///< total attempts consumed (incl. resamples)
+
+  /// False when no seed in the attempt budget produced a connected
+  /// feasible network (rendered as "n/a" rows, like E8's f=3 points).
+  [[nodiscard]] bool feasible() const { return !replicas.empty(); }
+  /// Reduces one metric over this point's replicas, in seed order.
+  [[nodiscard]] stats::Summary summarize(const MetricSpec& metric) const;
+};
+
+struct SweepResult {
+  std::string axis_name;      ///< empty when the spec had no axis
+  std::string variant_axis;   ///< empty when the spec had no variants
+  std::vector<SweepPoint> points;  ///< axis-major order
+
+  /// One row per point: axis column, variant column, then one column per
+  /// metric (plus `_ci95` columns where requested). Infeasible points
+  /// render "n/a".
+  [[nodiscard]] util::Table to_table(
+      const std::vector<MetricSpec>& metrics) const;
+  /// Machine-readable dump: per point the reduced value of every metric,
+  /// with count/stddev/ci95 for mean-reduced ones. Formatting is
+  /// locale-independent and byte-stable for equal inputs, so diffing two
+  /// runs proves determinism (sweep_test does exactly that across thread
+  /// counts).
+  void write_json(std::ostream& os,
+                  const std::vector<MetricSpec>& metrics) const;
+  [[nodiscard]] std::string to_json(
+      const std::vector<MetricSpec>& metrics) const;
+};
+
+/// Thread-pool executor for SweepSpec. Stateless between runs; one
+/// instance can execute many specs.
+class SweepRunner {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency().
+  explicit SweepRunner(unsigned threads = 0);
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Executes every (point, replica) on the pool and reduces in fixed
+  /// order. Output is independent of the thread count by construction.
+  [[nodiscard]] SweepResult run(const SweepSpec& spec) const;
+
+ private:
+  unsigned threads_;
+};
+
+/// Convenience: SweepRunner(threads).run(spec).
+[[nodiscard]] SweepResult run_sweep(const SweepSpec& spec,
+                                    unsigned threads = 0);
+
+/// The deterministic replica-seed derivation (documented in DESIGN.md §9,
+/// pinned by sweep_test): splitmix64(seed_base ^ (axis_index+1)) +
+/// attempt. Exposed so a bench can reproduce one replica standalone.
+[[nodiscard]] std::uint64_t replica_seed(std::uint64_t seed_base,
+                                         std::size_t axis_index,
+                                         std::size_t attempt);
+
+/// Builds a Network for `config`, resampling config.seed (seed, seed+1,
+/// ...) until the correct graph is connected, up to `max_tries` draws —
+/// the standing-assumption filter timeline benches apply before driving
+/// the simulator by hand. Returns nullptr when the budget runs out.
+[[nodiscard]] std::unique_ptr<Network> make_connected_network(
+    ScenarioConfig config, std::size_t max_tries = 50);
+
+}  // namespace byzcast::sim

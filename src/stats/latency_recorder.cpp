@@ -6,8 +6,14 @@
 
 namespace byzcast::stats {
 
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
 double LatencyRecorder::mean() const {
   if (samples_.empty()) return 0;
+  std::sort(samples_.begin(), samples_.end());
   return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
          static_cast<double>(samples_.size());
 }

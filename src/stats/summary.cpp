@@ -1,0 +1,37 @@
+#include "stats/summary.h"
+
+#include <cmath>
+
+namespace byzcast::stats {
+
+void Summary::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::mean() const { return count_ == 0 ? 0 : mean_; }
+
+double Summary::stddev() const {
+  if (count_ < 2) return 0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+double Summary::ci95() const {
+  if (count_ < 2) return 0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double Summary::min() const { return count_ == 0 ? 0 : min_; }
+double Summary::max() const { return count_ == 0 ? 0 : max_; }
+
+}  // namespace byzcast::stats

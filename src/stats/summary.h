@@ -1,0 +1,48 @@
+// Streaming mean / stddev / confidence-interval accumulator.
+//
+// One Summary per (sweep point, metric): the sweep engine feeds it the
+// per-replica values in seed order and benches print mean ± ci95. The
+// accumulation is Welford's algorithm, so adding values in the same order
+// always produces bit-identical results — which is what lets a parallel
+// sweep emit byte-identical tables at any thread count (reduction happens
+// on the coordinator, in seed order, never on the workers).
+#pragma once
+
+#include <cstddef>
+
+namespace byzcast::stats {
+
+class Summary {
+ public:
+  /// Adds one observation. Order matters for bit-reproducibility; callers
+  /// that need identical output across runs must feed identical order.
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  /// Mean of the observations; 0 when empty.
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than two
+  /// observations.
+  [[nodiscard]] double stddev() const;
+  /// Half-width of the normal-approximation 95% confidence interval:
+  /// 1.96 * stddev / sqrt(n). 0 for fewer than two observations. The
+  /// normal approximation understates the interval for very small n
+  /// (Student-t would widen it); EXPERIMENTS.md recommends >= 30 replicas,
+  /// where the difference is negligible.
+  [[nodiscard]] double ci95() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Sum of the observations (count * mean, accumulated directly).
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;  ///< sum of squared deviations (Welford)
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace byzcast::stats

@@ -4,17 +4,17 @@
 
 namespace byzcast::util {
 
-std::uint64_t BufferStats::allocations = 0;
-std::uint64_t BufferStats::bytes_copied = 0;
+std::atomic<std::uint64_t> BufferStats::allocations{0};
+std::atomic<std::uint64_t> BufferStats::bytes_copied{0};
 
 void BufferStats::reset() {
-  allocations = 0;
-  bytes_copied = 0;
+  allocations.store(0, std::memory_order_relaxed);
+  bytes_copied.store(0, std::memory_order_relaxed);
 }
 
 Buffer::Buffer(std::vector<std::uint8_t> bytes) {
   if (bytes.empty()) return;
-  ++BufferStats::allocations;
+  BufferStats::allocations.fetch_add(1, std::memory_order_relaxed);
   storage_ = std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
   data_ = storage_->data();
   size_ = storage_->size();
@@ -22,7 +22,7 @@ Buffer::Buffer(std::vector<std::uint8_t> bytes) {
 
 Buffer Buffer::copy_of(std::span<const std::uint8_t> bytes) {
   Buffer out(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
-  BufferStats::bytes_copied += bytes.size();
+  BufferStats::bytes_copied.fetch_add(bytes.size(), std::memory_order_relaxed);
   return out;
 }
 

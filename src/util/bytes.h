@@ -16,6 +16,7 @@
 // slices sharing the same allocation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -29,10 +30,12 @@ namespace byzcast::util {
 /// Copy/allocation counters for the zero-copy pipeline. The benches
 /// (bench_micro) difference these around a fan-out to prove the
 /// copy-count invariant: one allocation per serialization, zero byte
-/// copies per receiver. Plain globals — the simulator is single-threaded.
+/// copies per receiver. Atomic (relaxed) because the sweep engine runs
+/// independent simulator replicas on a thread pool; each simulator is
+/// still single-threaded internally.
 struct BufferStats {
-  static std::uint64_t allocations;   ///< byte blocks materialized
-  static std::uint64_t bytes_copied;  ///< bytes memcpy'd into new blocks
+  static std::atomic<std::uint64_t> allocations;   ///< blocks materialized
+  static std::atomic<std::uint64_t> bytes_copied;  ///< bytes memcpy'd
   static void reset();
 };
 

@@ -1,5 +1,7 @@
 #include "util/cli.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 namespace byzcast::util {
@@ -7,6 +9,7 @@ namespace byzcast::util {
 CliArgs::CliArgs(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "-h") arg = "--help";
     if (arg.rfind("--", 0) != 0) {
       throw std::invalid_argument("expected --flag, got: " + arg);
     }
@@ -20,6 +23,8 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
       values_[arg] = "true";
     }
   }
+  help_requested_ = values_.count("help") > 0;
+  if (help_requested_) queried_.insert("help");
 }
 
 bool CliArgs::has(const std::string& name) const {
@@ -67,6 +72,92 @@ bool CliArgs::get_bool(const std::string& name, bool def) const {
   if (it->second == "false" || it->second == "0") return false;
   throw std::invalid_argument("--" + name + " expects true/false, got: " +
                               it->second);
+}
+
+CliArgs& CliArgs::register_flag(const std::string& name,
+                                std::string default_text,
+                                const std::string& help) {
+  queried_.insert(name);  // registered flags are never "unknown"
+  auto it = std::find_if(flags_.begin(), flags_.end(),
+                         [&](const FlagInfo& f) { return f.name == name; });
+  if (it != flags_.end()) {
+    it->default_text = std::move(default_text);
+    it->help = help;
+  } else {
+    flags_.push_back({name, std::move(default_text), help});
+  }
+  return *this;
+}
+
+CliArgs& CliArgs::add_flag(const std::string& name, const std::string& def,
+                           const std::string& help) {
+  return register_flag(name, def, help);
+}
+CliArgs& CliArgs::add_flag(const std::string& name, const char* def,
+                           const std::string& help) {
+  return register_flag(name, def, help);
+}
+CliArgs& CliArgs::add_flag(const std::string& name, std::int64_t def,
+                           const std::string& help) {
+  return register_flag(name, std::to_string(def), help);
+}
+CliArgs& CliArgs::add_flag(const std::string& name, int def,
+                           const std::string& help) {
+  return register_flag(name, std::to_string(def), help);
+}
+CliArgs& CliArgs::add_flag(const std::string& name, double def,
+                           const std::string& help) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", def);
+  return register_flag(name, buf, help);
+}
+CliArgs& CliArgs::add_flag(const std::string& name, bool def,
+                           const std::string& help) {
+  return register_flag(name, def ? "true" : "false", help);
+}
+
+const CliArgs::FlagInfo& CliArgs::registered(const std::string& name) const {
+  auto it = std::find_if(flags_.begin(), flags_.end(),
+                         [&](const FlagInfo& f) { return f.name == name; });
+  if (it == flags_.end()) {
+    throw std::logic_error("flag --" + name + " was never add_flag()ed");
+  }
+  return *it;
+}
+
+std::string CliArgs::get_str(const std::string& name) const {
+  return get_str(name, registered(name).default_text);
+}
+std::int64_t CliArgs::get_int(const std::string& name) const {
+  const FlagInfo& info = registered(name);
+  return get_int(name, std::stoll(info.default_text));
+}
+double CliArgs::get_double(const std::string& name) const {
+  const FlagInfo& info = registered(name);
+  return get_double(name, std::stod(info.default_text));
+}
+bool CliArgs::get_bool(const std::string& name) const {
+  const FlagInfo& info = registered(name);
+  return get_bool(name, info.default_text == "true");
+}
+
+bool CliArgs::handle_help(const std::string& program, std::ostream& os) const {
+  if (!help_requested_) return false;
+  os << "usage: " << program << " [--flag=value ...]\n";
+  if (!flags_.empty()) {
+    std::size_t width = 0;
+    for (const FlagInfo& f : flags_) {
+      width = std::max(width, f.name.size() + f.default_text.size());
+    }
+    os << "\nflags:\n";
+    for (const FlagInfo& f : flags_) {
+      std::string head = "--" + f.name + "=" + f.default_text;
+      os << "  " << head;
+      for (std::size_t i = head.size(); i < width + 5; ++i) os << ' ';
+      os << f.help << "\n";
+    }
+  }
+  return true;
 }
 
 void CliArgs::reject_unknown() const {

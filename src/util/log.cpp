@@ -4,7 +4,7 @@
 
 namespace byzcast::util {
 
-LogLevel Log::level_ = LogLevel::kOff;
+std::atomic<LogLevel> Log::level_{LogLevel::kOff};
 std::function<std::uint64_t()> Log::clock_;
 
 namespace {

@@ -6,6 +6,7 @@
 // what makes example output readable as an event timeline.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <sstream>
@@ -15,23 +16,27 @@ namespace byzcast::util {
 
 enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global log configuration. Not thread-safe by design: the simulator is
-/// single-threaded (DESIGN.md §6) and configuration happens before a run.
+/// Global log configuration. The level is atomic so sweep worker threads
+/// can consult it concurrently; set_clock stays configure-before-run only
+/// (single-threaded examples install a simulated clock, the parallel
+/// sweep path never does).
 class Log {
  public:
-  static void set_level(LogLevel level) { level_ = level; }
-  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
   /// Install a simulated-time source (microseconds); nullptr restores
   /// wall-clock-free output.
   static void set_clock(std::function<std::uint64_t()> now) {
     clock_ = std::move(now);
   }
-  static bool enabled(LogLevel level) { return level >= level_; }
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
   static void write(LogLevel level, const std::string& component,
                     const std::string& message);
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
   static std::function<std::uint64_t()> clock_;
 };
 

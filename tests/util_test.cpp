@@ -230,15 +230,56 @@ TEST(Cli, RejectsMalformedInput) {
 
   const char* argv[] = {"prog", "--n=abc"};
   CliArgs args(2, argv);
-  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument);
 }
 
 TEST(Cli, RejectUnknownFlagsUnqueriedFlags) {
   const char* argv[] = {"prog", "--typo=1"};
   CliArgs args(2, argv);
   EXPECT_THROW(args.reject_unknown(), std::invalid_argument);
-  args.get_int("typo", 0);
+  (void)args.get_int("typo", 0);
   EXPECT_NO_THROW(args.reject_unknown());
+}
+
+TEST(Cli, RegistrySuppliesDefaultsAndOverrides) {
+  const char* argv[] = {"prog", "--seeds=7", "--csv"};
+  CliArgs args(3, argv);
+  args.add_flag("seeds", 3, "replicas per point")
+      .add_flag("threads", 0, "worker threads")
+      .add_flag("csv", false, "CSV output")
+      .add_flag("rate", 0.5, "a double")
+      .add_flag("name", "cds", "a string");
+  EXPECT_EQ(args.get_int("seeds"), 7);    // command line wins
+  EXPECT_EQ(args.get_int("threads"), 0);  // registered default
+  EXPECT_TRUE(args.get_bool("csv"));
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 0.5);
+  EXPECT_EQ(args.get_str("name"), "cds");
+  // Registered flags count as queried: no unknown-flag complaints.
+  EXPECT_NO_THROW(args.reject_unknown());
+}
+
+TEST(Cli, SingleArgGettersRequireRegistration) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_THROW((void)args.get_int("never_declared"), std::logic_error);
+}
+
+TEST(Cli, GeneratedHelpListsFlagsAndDefaults) {
+  const char* argv[] = {"prog", "--help"};
+  CliArgs args(2, argv);
+  args.add_flag("seeds", 3, "replicas averaged per sweep point");
+  std::ostringstream os;
+  EXPECT_TRUE(args.handle_help("prog", os));
+  EXPECT_NE(os.str().find("--seeds"), std::string::npos);
+  EXPECT_NE(os.str().find("replicas averaged"), std::string::npos);
+  EXPECT_NE(os.str().find("3"), std::string::npos);
+
+  const char* quiet[] = {"prog", "--seeds=4"};
+  CliArgs no_help(2, quiet);
+  no_help.add_flag("seeds", 3, "replicas averaged per sweep point");
+  std::ostringstream unused;
+  EXPECT_FALSE(no_help.handle_help("prog", unused));
+  EXPECT_EQ(unused.str(), "");
 }
 
 }  // namespace
