@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   args.add_flag("n", 30, "network size");
   args.add_flag("bcasts", 30, "broadcasts per run");
   if (args.handle_help(argv[0], std::cout)) return 0;
-  bench::SweepOptions opt = bench::sweep_options(args);
+  bench::SweepOptions opt = bench::sweep_options(args, argv[0]);
   auto n = static_cast<std::size_t>(args.get_int("n"));
   auto bcasts = static_cast<std::size_t>(args.get_int("bcasts"));
 
@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
                  return count == 0 ? 0 : late / static_cast<double>(count);
                });
 
-  bench::emit(sim::run_sweep(spec, opt.threads),
+  bench::emit(bench::run_sweep(spec, opt),
               {sim::sweep_metrics::observed("aware_pair_fraction", 0),
                sim::sweep_metrics::observed("late_latency_mean_ms", 1),
                sim::sweep_metrics::delivery()},

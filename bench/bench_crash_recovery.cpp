@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   bench::register_sweep_flags(args);
   args.add_flag("n", 40, "network size");
   if (args.handle_help(argv[0], std::cout)) return 0;
-  bench::SweepOptions opt = bench::sweep_options(args);
+  bench::SweepOptions opt = bench::sweep_options(args, argv[0]);
   auto n = static_cast<std::size_t>(args.get_int("n"));
 
   sim::SweepSpec spec;
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
 
   using Reduce = sim::MetricSpec::Reduce;
   bench::emit(
-      sim::run_sweep(spec, opt.threads),
+      bench::run_sweep(spec, opt),
       {sim::sweep_metrics::delivery().with_ci(),
        sim::sweep_metrics::availability(),
        sim::MetricSpec{"recovered",

@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
   util::CliArgs args(argc, argv);
   bench::register_sweep_flags(args);
   if (args.handle_help(argv[0], std::cout)) return 0;
-  bench::SweepOptions opt = bench::sweep_options(args);
+  bench::SweepOptions opt = bench::sweep_options(args, argv[0]);
 
   // Dense failure-free network, collision-heavy: every suspicion traced
   // here convicts a correct node.
@@ -130,7 +130,7 @@ int main(int argc, char** argv) {
                  }
                  return total;
                });
-  sim::SweepResult result = sim::run_sweep(spec, opt.threads);
+  sim::SweepResult result = bench::run_sweep(spec, opt);
 
   util::Table table({"expect_timeout_ms", "threshold", "detect_latency_s",
                      "false_suspicions_per_run"});

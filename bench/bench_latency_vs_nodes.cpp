@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   util::CliArgs args(argc, argv);
   bench::register_sweep_flags(args);
   if (args.handle_help(argv[0], std::cout)) return 0;
-  bench::SweepOptions opt = bench::sweep_options(args);
+  bench::SweepOptions opt = bench::sweep_options(args, argv[0]);
 
   sim::SweepSpec spec;
   spec.base(bench::default_scenario(50))
@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     spec.value(static_cast<std::int64_t>(n), bench::with_n(n));
   }
 
-  bench::emit(sim::run_sweep(spec, opt.threads),
+  bench::emit(bench::run_sweep(spec, opt),
               {sim::sweep_metrics::latency_mean_ms().with_ci(),
                sim::sweep_metrics::latency_p99_ms(),
                sim::sweep_metrics::delivery()},

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   // 1.0 delivery (see EXPERIMENTS.md E1 discussion).
   args.add_flag("payload", 256, "application payload bytes");
   if (args.handle_help(argv[0], std::cout)) return 0;
-  bench::SweepOptions opt = bench::sweep_options(args);
+  bench::SweepOptions opt = bench::sweep_options(args, argv[0]);
   auto payload = static_cast<std::size_t>(args.get_int("payload"));
 
   sim::ScenarioConfig base = bench::default_scenario(50);
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
         c.multi_overlay_count = 2;
       });
 
-  bench::emit(sim::run_sweep(spec, opt.threads),
+  bench::emit(bench::run_sweep(spec, opt),
               {sim::sweep_metrics::data_pkts_per_bcast(),
                sim::sweep_metrics::total_pkts_per_bcast(),
                sim::sweep_metrics::bytes_per_bcast(),

@@ -14,6 +14,7 @@
 #include "des/rng.h"
 #include "des/simulator.h"
 #include "mobility/static_mobility.h"
+#include "obs/profiler.h"
 #include "radio/medium.h"
 #include "radio/propagation.h"
 #include "radio/radio.h"
@@ -180,6 +181,39 @@ void BM_RngNextBelow(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RngNextBelow);
+
+// Guards the profiler's disabled-path overhead claim (DESIGN.md §10):
+// a disabled BYZCAST_PROFILE scope is one relaxed load plus a branch and
+// must record nothing. The time/op here is what every event dispatch
+// pays with profiling off; the SkipWithError is the functional
+// invariant, visible in CI's bench smoke output.
+void BM_ProfilerDisabledScope(benchmark::State& state) {
+  obs::Profiler::set_enabled(false);
+  obs::Profiler::reset();
+  for (auto _ : state) {
+    BYZCAST_PROFILE(obs::ProfileCategory::kEventDispatch);
+    benchmark::ClobberMemory();
+  }
+  if (obs::Profiler::stats(obs::ProfileCategory::kEventDispatch).count != 0) {
+    state.SkipWithError("disabled profiler scope recorded samples");
+  }
+}
+BENCHMARK(BM_ProfilerDisabledScope);
+
+void BM_ProfilerEnabledScope(benchmark::State& state) {
+  obs::Profiler::set_enabled(true);
+  obs::Profiler::reset();
+  for (auto _ : state) {
+    BYZCAST_PROFILE(obs::ProfileCategory::kEventDispatch);
+    benchmark::ClobberMemory();
+  }
+  obs::Profiler::set_enabled(false);
+  if (obs::Profiler::stats(obs::ProfileCategory::kEventDispatch).count == 0) {
+    state.SkipWithError("enabled profiler scope recorded nothing");
+  }
+  obs::Profiler::reset();
+}
+BENCHMARK(BM_ProfilerEnabledScope);
 
 }  // namespace
 

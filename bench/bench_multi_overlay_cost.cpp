@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   bench::register_sweep_flags(args);
   args.add_flag("n", 100, "network size");
   if (args.handle_help(argv[0], std::cout)) return 0;
-  bench::SweepOptions opt = bench::sweep_options(args);
+  bench::SweepOptions opt = bench::sweep_options(args, argv[0]);
   auto n = static_cast<std::size_t>(args.get_int("n"));
 
   sim::ScenarioConfig dense = bench::default_scenario(n);
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
                      c.multi_overlay_count = static_cast<std::size_t>(f) + 1;
                    });
     }
-    bench::emit(sim::run_sweep(spec, opt.threads), metrics, opt);
+    bench::emit(bench::run_sweep(spec, opt), metrics, opt);
   }
 
   std::printf("\n-- delivery with f mute nodes --\n");
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
                    // (k=2), which is how such systems get deployed.
                    c.multi_overlay_count = 2;
                  });
-    bench::emit(sim::run_sweep(spec, opt.threads), metrics, opt);
+    bench::emit(bench::run_sweep(spec, opt), metrics, opt);
   }
   return 0;
 }

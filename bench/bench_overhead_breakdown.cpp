@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   bench::register_sweep_flags(args);
   args.add_flag("n", 100, "network size");
   if (args.handle_help(argv[0], std::cout)) return 0;
-  bench::SweepOptions opt = bench::sweep_options(args);
+  bench::SweepOptions opt = bench::sweep_options(args, argv[0]);
   auto n = static_cast<std::size_t>(args.get_int("n"));
 
   sim::ScenarioConfig base = bench::default_scenario(n);
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
                  c.protocol_config.gossip_period = des::millis(period_ms);
                });
   }
-  sim::SweepResult result = sim::run_sweep(spec, opt.threads);
+  sim::SweepResult result = bench::run_sweep(spec, opt);
 
   util::Table table({"gossip_period_ms", "kind", "packets", "bytes",
                      "bytes_per_bcast"});

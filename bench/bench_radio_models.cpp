@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   bench::register_sweep_flags(args);
   args.add_flag("n", 60, "network size");
   if (args.handle_help(argv[0], std::cout)) return 0;
-  bench::SweepOptions opt = bench::sweep_options(args);
+  bench::SweepOptions opt = bench::sweep_options(args, argv[0]);
   auto n = static_cast<std::size_t>(args.get_int("n"));
 
   sim::ScenarioConfig base = bench::default_scenario(n);
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
       .variant("fading+shadowing",
                [](sim::ScenarioConfig& c) { c.realistic_radio = true; });
 
-  bench::emit(sim::run_sweep(spec, opt.threads),
+  bench::emit(bench::run_sweep(spec, opt),
               {sim::sweep_metrics::delivery().with_ci(),
                sim::sweep_metrics::latency_mean_ms(),
                sim::sweep_metrics::collisions(),

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   util::CliArgs args(argc, argv);
   bench::register_sweep_flags(args);
   if (args.handle_help(argv[0], std::cout)) return 0;
-  bench::SweepOptions opt = bench::sweep_options(args);
+  bench::SweepOptions opt = bench::sweep_options(args, argv[0]);
 
   sim::ScenarioConfig base;
   base.placement = sim::PlacementKind::kChain;
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
         c.adversaries = {{byz::AdversaryKind::kMute, c.n / 4}};
       });
 
-  sim::SweepResult result = sim::run_sweep(spec, opt.threads);
+  sim::SweepResult result = bench::run_sweep(spec, opt);
 
   util::Table table({"n", "scenario", "bound_s", "measured_max_s",
                      "latency_mean_ms", "utilization", "delivery"});

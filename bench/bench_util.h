@@ -11,11 +11,13 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
 
+#include "obs/run_report.h"
 #include "sim/sweep.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -73,6 +75,14 @@ struct SweepOptions {
   unsigned threads = 0;  ///< 0 = all hardware threads
   bool csv = false;
   bool json = false;
+  /// --report-dir: directory for one run-report JSON per sweep point
+  /// (obs/run_report.h); empty = no reports.
+  std::string report_dir;
+  /// --telemetry-ms: obs::Timeline sampling interval; defaults on at
+  /// 500 ms when --report-dir is given, 0 (off) otherwise.
+  double telemetry_ms = 0;
+  /// argv[0] basename, recorded in run reports as the emitting tool.
+  std::string tool = "bench";
 };
 
 /// Registers the shared flags (once, here, instead of 16 copies). Call
@@ -86,16 +96,59 @@ inline void register_sweep_flags(util::CliArgs& args,
       .add_flag("csv", false, "emit CSV instead of the aligned table")
       .add_flag("json", false,
                 "emit JSON with mean/stddev/ci95 per point (benches with "
-                "custom tables fall back to --csv)");
+                "custom tables fall back to --csv)")
+      .add_flag("report-dir", "",
+                "write one run-report JSON per sweep point into this "
+                "directory (DESIGN.md §10)")
+      .add_flag("telemetry-ms", -1.0,
+                "sim-time telemetry sampling interval in ms (0 = off; "
+                "default: 500 when --report-dir is set, else off)");
 }
 
-inline SweepOptions sweep_options(const util::CliArgs& args) {
+inline SweepOptions sweep_options(const util::CliArgs& args,
+                                  const std::string& argv0 = "bench") {
   SweepOptions opt;
   opt.replicas = static_cast<std::size_t>(args.get_int("seeds"));
   opt.threads = static_cast<unsigned>(args.get_int("threads"));
   opt.csv = args.get_bool("csv");
   opt.json = args.get_bool("json");
+  opt.report_dir = args.get_str("report-dir");
+  double telemetry_ms = args.get_double("telemetry-ms");
+  opt.telemetry_ms =
+      telemetry_ms >= 0 ? telemetry_ms : (opt.report_dir.empty() ? 0 : 500);
+  auto slash = argv0.find_last_of('/');
+  opt.tool = slash == std::string::npos ? argv0 : argv0.substr(slash + 1);
+  if (opt.tool.empty()) opt.tool = "bench";
   return opt;
+}
+
+/// Executes `spec` with the shared options applied: threads from
+/// --threads, telemetry interval stamped into the spec's base when
+/// --telemetry-ms (or --report-dir) asks for sampling, and one run-report
+/// JSON per point written under --report-dir. All benches run their
+/// sweeps through here — including the ones that render custom tables —
+/// so reports and timelines work uniformly.
+inline sim::SweepResult run_sweep(sim::SweepSpec spec,
+                                  const SweepOptions& opt) {
+  if (opt.telemetry_ms > 0) {
+    spec.mutate_base([&](sim::ScenarioConfig& c) {
+      c.telemetry_interval = des::from_seconds(opt.telemetry_ms / 1e3);
+    });
+  }
+  sim::SweepResult result = sim::run_sweep(spec, opt.threads);
+  if (!opt.report_dir.empty()) {
+    // Benches that run several sweeps (e.g. bench_multi_overlay_cost)
+    // get a sweep-<k> subdirectory per extra sweep so point files never
+    // silently overwrite each other.
+    static int sweep_ordinal = 0;
+    std::string dir = opt.report_dir;
+    if (sweep_ordinal > 0) dir += "/sweep-" + std::to_string(sweep_ordinal);
+    ++sweep_ordinal;
+    std::size_t written = obs::write_sweep_reports(result, dir, opt.tool);
+    std::fprintf(stderr, "%s: %zu run reports written to %s\n",
+                 opt.tool.c_str(), written, dir.c_str());
+  }
+  return result;
 }
 
 // --- output -----------------------------------------------------------------

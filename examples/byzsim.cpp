@@ -16,6 +16,8 @@
 
 #include "analysis/graph_stats.h"
 #include "geo/placement.h"
+#include "obs/profiler.h"
+#include "obs/run_report.h"
 #include "sim/runner.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -145,7 +147,22 @@ int main(int argc, char** argv) try {
 
   bool analyze = args.get_bool("analyze", false);
   std::string trace_format = args.get_str("trace", "");  // text|csv|jsonl
+  // --trace-out redirects the trace to a file and keeps the metrics
+  // summary on stdout (without it, --trace writes to stdout and exits,
+  // the historical behaviour).
+  std::string trace_out = args.get_str("trace-out", "");
+  if (!trace_out.empty() && trace_format.empty()) trace_format = "text";
   config.enable_trace = !trace_format.empty();
+
+  // Flight recorder / run report (DESIGN.md §10): --report writes the
+  // unified JSON artifact ("-" = stdout); telemetry sampling defaults on
+  // at 500 ms whenever a report is requested.
+  std::string report_path = args.get_str("report", "");
+  double telemetry_ms =
+      args.get_double("telemetry-ms", report_path.empty() ? 0 : 500);
+  config.telemetry_interval = des::from_seconds(telemetry_ms / 1e3);
+  bool profile = args.get_bool("profile", false);
+  obs::Profiler::set_enabled(profile);
   args.reject_unknown();
 
   sim::Network network(config);
@@ -158,14 +175,26 @@ int main(int argc, char** argv) try {
   const stats::Metrics& m = result.metrics;
 
   if (!trace_format.empty()) {
-    if (trace_format == "csv") {
-      network.trace().write_csv(std::cout);
-    } else if (trace_format == "jsonl") {
-      network.trace().write_jsonl(std::cout);
-    } else {
-      network.trace().write_text(std::cout);
+    std::ofstream trace_file;
+    if (!trace_out.empty()) {
+      trace_file.open(trace_out, std::ios::binary | std::ios::trunc);
+      if (!trace_file) {
+        throw std::invalid_argument("--trace-out: cannot open " + trace_out);
+      }
     }
-    return 0;
+    std::ostream& trace_os = trace_out.empty()
+                                 ? static_cast<std::ostream&>(std::cout)
+                                 : trace_file;
+    if (trace_format == "csv") {
+      network.trace().write_csv(trace_os);
+    } else if (trace_format == "jsonl") {
+      network.trace().write_jsonl(trace_os);
+    } else {
+      network.trace().write_text(trace_os);
+    }
+    if (trace_out.empty()) return 0;
+    std::fprintf(stderr, "byzsim: trace written to %s (%zu events)\n",
+                 trace_out.c_str(), network.trace().size());
   }
 
   util::Table table({"metric", "value"});
@@ -202,7 +231,16 @@ int main(int argc, char** argv) try {
     add("overlay_size", static_cast<std::int64_t>(result.overlay_size_end));
     add("overlay_healthy", std::string(result.overlay_healthy_end ? "yes" : "no"));
   }
-  table.print(std::cout);
+  // --report=- streams the JSON artifact on stdout; keep it parseable by
+  // routing the human summary to stderr instead of interleaving.
+  if (report_path == "-") {
+    table.print(std::cerr);
+  } else {
+    table.print(std::cout);
+  }
+
+  std::FILE* human_file = report_path == "-" ? stderr : stdout;
+  std::ostream& human_stream = report_path == "-" ? std::cerr : std::cout;
 
   if (analyze && config.protocol == sim::ProtocolKind::kByzcast) {
     std::vector<geo::Vec2> points;
@@ -214,14 +252,48 @@ int main(int argc, char** argv) try {
     analysis::DegreeStats deg = analysis::degree_stats(adj);
     analysis::OverlayReport report =
         analysis::evaluate_overlay(adj, network.overlay_members());
-    std::printf("\n-- topology & overlay analysis --\n");
-    std::printf("degrees: min=%zu mean=%.1f max=%zu; components=%zu\n",
-                deg.min, deg.mean, deg.max, analysis::component_count(adj));
-    std::printf("backbone: %zu members, dominating=%s, connected=%s, "
-                "mean stretch=%.3f\n",
-                report.backbone_size, report.dominating ? "yes" : "no",
-                report.backbone_connected ? "yes" : "no",
-                report.mean_stretch);
+    std::fprintf(human_file, "\n-- topology & overlay analysis --\n");
+    std::fprintf(human_file,
+                 "degrees: min=%zu mean=%.1f max=%zu; components=%zu\n",
+                 deg.min, deg.mean, deg.max, analysis::component_count(adj));
+    std::fprintf(human_file,
+                 "backbone: %zu members, dominating=%s, connected=%s, "
+                 "mean stretch=%.3f\n",
+                 report.backbone_size, report.dominating ? "yes" : "no",
+                 report.backbone_connected ? "yes" : "no",
+                 report.mean_stretch);
+  }
+
+  if (profile) {
+    util::Table prof({"category", "count", "total_ms", "max_us"});
+    for (std::size_t i = 0; i < obs::kProfileCategoryCount; ++i) {
+      auto cat = static_cast<obs::ProfileCategory>(i);
+      obs::Profiler::CategoryStats st = obs::Profiler::stats(cat);
+      prof.add_row({std::string(obs::profile_category_name(cat)),
+                    static_cast<std::int64_t>(st.count),
+                    static_cast<double>(st.total_ns) / 1e6,
+                    static_cast<double>(st.max_ns) / 1e3});
+    }
+    std::fprintf(human_file, "\n-- profiler (wall-clock) --\n");
+    prof.print(human_stream);
+  }
+
+  if (!report_path.empty()) {
+    obs::RunReport report;
+    report.config = &config;
+    report.result = &result;
+    if (config.enable_trace) report.trace = &network.trace();
+    if (report_path == "-") {
+      report.write_json(std::cout);
+    } else {
+      std::ofstream file(report_path, std::ios::binary | std::ios::trunc);
+      if (!file) {
+        throw std::invalid_argument("--report: cannot open " + report_path);
+      }
+      report.write_json(file);
+      std::fprintf(stderr, "byzsim: run report written to %s\n",
+                   report_path.c_str());
+    }
   }
   return 0;
 } catch (const std::exception& e) {

@@ -122,6 +122,17 @@ bool ByzcastNode::reliable(NodeId node) const {
   return trust_.level(node) == fd::TrustLevel::kTrusted;
 }
 
+void ByzcastNode::poll_gauges(obs::GaugeVisitor& visitor) const {
+  store_.poll_gauges(visitor);
+  trust_.poll_gauges(visitor);
+  table_.poll_gauges(visitor);
+  visitor.gauge("overlay_active", active_ ? 1 : 0);
+  visitor.gauge("overlay_dominator", dominator_ ? 1 : 0);
+  visitor.gauge("pending_requests",
+                static_cast<std::int64_t>(pending_missing_.size()));
+  visitor.gauge("running", running_ ? 1 : 0);
+}
+
 std::vector<NodeId> ByzcastNode::overlay_neighbors() const {
   std::vector<NodeId> out;
   for (const auto& entry : table_.entries()) {

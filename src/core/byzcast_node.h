@@ -34,6 +34,7 @@
 #include "fd/mute_fd.h"
 #include "fd/trust_fd.h"
 #include "fd/verbose_fd.h"
+#include "obs/gauge.h"
 #include "overlay/neighbor_table.h"
 #include "overlay/overlay.h"
 #include "radio/radio.h"
@@ -42,7 +43,7 @@
 
 namespace byzcast::core {
 
-class ByzcastNode {
+class ByzcastNode : public obs::GaugeSource {
  public:
   /// Called exactly once per accepted message (validity property).
   using AcceptHandler =
@@ -106,6 +107,16 @@ class ByzcastNode {
   [[nodiscard]] fd::TrustFd& trust() { return trust_; }
   [[nodiscard]] const ProtocolConfig& config() const { return config_; }
   [[nodiscard]] std::uint32_t next_seq() const { return next_seq_; }
+  /// Known-missing messages still being re-requested (pending
+  /// REQUEST_MSG retries).
+  [[nodiscard]] std::size_t pending_request_count() const {
+    return pending_missing_.size();
+  }
+
+  /// The node's full flight-recorder row: delegates to the store, TRUST
+  /// and neighbour table, then adds its own role/recovery gauges
+  /// (overlay_active, overlay_dominator, pending_requests, running).
+  void poll_gauges(obs::GaugeVisitor& visitor) const override;
 
  protected:
   // --- dispatch (the FD interceptor of Figure 1) ---------------------------

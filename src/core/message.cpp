@@ -1,5 +1,7 @@
 #include "core/message.h"
 
+#include "obs/profiler.h"
+
 namespace byzcast::core {
 
 namespace {
@@ -105,6 +107,7 @@ std::optional<HelloMsg> read_hello_fields(util::ByteReader& r) {
 // slice and remembers the whole frame in `wire`; without one it copies.
 std::optional<Packet> parse_packet_impl(std::span<const std::uint8_t> bytes,
                                         const util::Buffer* source) {
+  BYZCAST_PROFILE(obs::ProfileCategory::kParse);
   util::ByteReader r(bytes);
   auto type = r.u8();
   if (!r.ok()) return std::nullopt;
@@ -235,6 +238,7 @@ MsgType packet_type(const Packet& packet) {
 }
 
 util::Buffer serialize(const Packet& packet) {
+  BYZCAST_PROFILE(obs::ProfileCategory::kSerialize);
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(packet_type(packet)));
   std::visit(

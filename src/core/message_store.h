@@ -19,10 +19,11 @@
 
 #include "core/message.h"
 #include "des/time.h"
+#include "obs/gauge.h"
 
 namespace byzcast::core {
 
-class MessageStore {
+class MessageStore : public obs::GaugeSource {
  public:
   struct Stored {
     DataMsg msg;
@@ -87,6 +88,13 @@ class MessageStore {
 
   [[nodiscard]] std::size_t size() const { return stored_.size(); }
   [[nodiscard]] std::size_t accepted_count() const { return accepted_.size(); }
+
+  /// Gauges: buffered message count and cumulative accepted ids, sampled
+  /// by the obs::Timeline.
+  void poll_gauges(obs::GaugeVisitor& visitor) const override {
+    visitor.gauge("store_size", static_cast<std::int64_t>(stored_.size()));
+    visitor.gauge("accepted", static_cast<std::int64_t>(accepted_.size()));
+  }
 
  private:
   std::map<MessageId, Stored> stored_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/profiler.h"
+
 namespace byzcast::crypto {
 
 void write_wire_signature(util::ByteWriter& w, Signature sig) {
@@ -31,6 +33,7 @@ std::uint64_t Pki::tag_for(NodeId id, SipKey key,
 }
 
 Signature Signer::sign(std::span<const std::uint8_t> data) const {
+  BYZCAST_PROFILE(obs::ProfileCategory::kSignatureSign);
   return Signature{Pki::tag_for(id_, key_, data)};
 }
 
@@ -47,6 +50,7 @@ Signer Pki::register_node(NodeId id) {
 
 bool Pki::verify(NodeId claimed_signer, std::span<const std::uint8_t> data,
                  Signature sig) const {
+  BYZCAST_PROFILE(obs::ProfileCategory::kSignatureVerify);
   for (const auto& [id, key] : keys_) {
     if (id == claimed_signer) {
       return tag_for(id, key, data) == sig.tag;

@@ -1,5 +1,7 @@
 #include "des/simulator.h"
 
+#include "obs/profiler.h"
+
 namespace byzcast::des {
 
 std::size_t Simulator::run_until(SimTime deadline) {
@@ -7,7 +9,10 @@ std::size_t Simulator::run_until(SimTime deadline) {
   while (!queue_.empty() && queue_.next_time() <= deadline) {
     EventQueue::Entry entry = queue_.pop();
     now_ = entry.at;
-    entry.action();
+    {
+      BYZCAST_PROFILE(obs::ProfileCategory::kEventDispatch);
+      entry.action();
+    }
     ++executed;
   }
   if (now_ < deadline) now_ = deadline;
@@ -20,7 +25,10 @@ std::size_t Simulator::run_to_completion() {
   while (!queue_.empty()) {
     EventQueue::Entry entry = queue_.pop();
     now_ = entry.at;
-    entry.action();
+    {
+      BYZCAST_PROFILE(obs::ProfileCategory::kEventDispatch);
+      entry.action();
+    }
     ++executed;
   }
   events_executed_ += executed;

@@ -58,6 +58,19 @@ std::uint64_t TrustFd::suspicion_events(SuspicionReason reason) const {
   return reason_counts_[static_cast<std::size_t>(reason)];
 }
 
+void TrustFd::poll_gauges(obs::GaugeVisitor& visitor) const {
+  std::int64_t live_untrusted = 0;
+  for (const auto& [node, until] : untrusted_until_) {
+    if (until > sim_.now()) ++live_untrusted;
+  }
+  std::int64_t live_reported = 0;
+  for (const auto& [node, until] : reported_until_) {
+    if (until > sim_.now()) ++live_reported;
+  }
+  visitor.gauge("untrusted", live_untrusted);
+  visitor.gauge("reported", live_reported);
+}
+
 void TrustFd::reset() {
   untrusted_until_.clear();
   reported_until_.clear();

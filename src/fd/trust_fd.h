@@ -22,6 +22,7 @@
 
 #include "des/simulator.h"
 #include "fd/fd_types.h"
+#include "obs/gauge.h"
 
 namespace byzcast::fd {
 
@@ -32,7 +33,7 @@ struct TrustFdConfig {
   des::SimDuration report_interval = des::seconds(30);
 };
 
-class TrustFd {
+class TrustFd : public obs::GaugeSource {
  public:
   using ChangeCallback = std::function<void(NodeId, TrustLevel)>;
 
@@ -62,6 +63,11 @@ class TrustFd {
 
   /// Fired on trusted->untrusted and untrusted->trusted edges.
   void set_on_change(ChangeCallback cb) { on_change_ = std::move(cb); }
+
+  /// Gauges: `untrusted` (live direct suspicions) and `reported` (live
+  /// neighbour reports, the unknown level) — the paper's two suspicion
+  /// tiers, sampled by the obs::Timeline.
+  void poll_gauges(obs::GaugeVisitor& visitor) const override;
 
  private:
   des::Simulator& sim_;

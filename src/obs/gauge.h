@@ -1,0 +1,38 @@
+// Gauge polling interface for the flight-recorder layer (DESIGN.md §10).
+//
+// A GaugeSource exposes point-in-time integer gauges — store size,
+// suspected-peer count, pending requests, overlay role — that the
+// obs::Timeline samples on its sim-time tick. The contract is small on
+// purpose: implementors (ByzcastNode, TrustFd, MessageStore,
+// NeighborTable, Radio) already own the state; they only name and emit
+// it. Determinism rule: a source must emit the same gauge names, in the
+// same order, on every poll — the Timeline pins its column set at the
+// first sample and refuses ragged rows.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace byzcast::obs {
+
+/// Sink the Timeline hands to GaugeSource::poll_gauges. Collects one
+/// (name, value) pair per gauge; names are column-stable (see above).
+class GaugeVisitor {
+ public:
+  virtual void gauge(std::string_view name, std::int64_t value) = 0;
+
+ protected:
+  ~GaugeVisitor() = default;
+};
+
+/// Implemented by components that publish gauges to the Timeline.
+class GaugeSource {
+ public:
+  virtual ~GaugeSource() = default;
+  /// Emits every gauge this source owns. Must be side-effect free on the
+  /// simulation (polling happens inside the event loop) and emit a fixed
+  /// gauge list — value changes only.
+  virtual void poll_gauges(GaugeVisitor& visitor) const = 0;
+};
+
+}  // namespace byzcast::obs

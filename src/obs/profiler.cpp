@@ -1,0 +1,52 @@
+#include "obs/profiler.h"
+
+namespace byzcast::obs {
+
+std::atomic<bool> Profiler::enabled_{false};
+Profiler::Slot Profiler::slots_[kProfileCategoryCount];
+
+const char* profile_category_name(ProfileCategory category) {
+  switch (category) {
+    case ProfileCategory::kEventDispatch:
+      return "event_dispatch";
+    case ProfileCategory::kSignatureSign:
+      return "signature_sign";
+    case ProfileCategory::kSignatureVerify:
+      return "signature_verify";
+    case ProfileCategory::kMediumFanout:
+      return "medium_fanout";
+    case ProfileCategory::kSerialize:
+      return "serialize";
+    case ProfileCategory::kParse:
+      return "parse";
+  }
+  return "?";
+}
+
+void Profiler::record(ProfileCategory category, std::uint64_t ns) {
+  Slot& slot = slots_[static_cast<std::size_t>(category)];
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.total_ns.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = slot.max_ns.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !slot.max_ns.compare_exchange_weak(seen, ns,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+Profiler::CategoryStats Profiler::stats(ProfileCategory category) {
+  const Slot& slot = slots_[static_cast<std::size_t>(category)];
+  return {slot.count.load(std::memory_order_relaxed),
+          slot.total_ns.load(std::memory_order_relaxed),
+          slot.max_ns.load(std::memory_order_relaxed)};
+}
+
+void Profiler::reset() {
+  for (Slot& slot : slots_) {
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.total_ns.store(0, std::memory_order_relaxed);
+    slot.max_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace byzcast::obs

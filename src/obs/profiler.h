@@ -1,0 +1,91 @@
+// Hot-path wall-clock profiler (DESIGN.md §10).
+//
+// RAII scoped timers around the simulator's hot paths — event dispatch,
+// signature sign/verify, medium fan-out, serialize/parse — aggregated
+// into process-global per-category count/total/max tables. Disabled by
+// default; the disabled path is a single relaxed atomic load and a
+// branch, cheap enough to leave the probes compiled into the event loop
+// (bench_micro pins the invariant that a disabled scope records
+// nothing). Counters are relaxed atomics so parallel sweep replicas can
+// record concurrently; the numbers are wall-clock and therefore
+// *non-deterministic* — they go into run reports as a diagnostics
+// section and must never feed a deterministic snapshot.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace byzcast::obs {
+
+enum class ProfileCategory : std::uint8_t {
+  kEventDispatch = 0,  ///< one DES event callback
+  kSignatureSign,      ///< crypto::Signer::sign
+  kSignatureVerify,    ///< crypto::Pki::verify
+  kMediumFanout,       ///< radio::Medium::begin_transmission (per-frame fan-out)
+  kSerialize,          ///< core::serialize(Packet)
+  kParse,              ///< core::parse_packet / parse_packet_shared
+};
+inline constexpr std::size_t kProfileCategoryCount = 6;
+
+const char* profile_category_name(ProfileCategory category);
+
+class Profiler {
+ public:
+  struct CategoryStats {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+
+  static void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  static void record(ProfileCategory category, std::uint64_t ns);
+  [[nodiscard]] static CategoryStats stats(ProfileCategory category);
+  /// Zeroes every category (does not change the enable flag).
+  static void reset();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> total_ns{0};
+    std::atomic<std::uint64_t> max_ns{0};
+  };
+  static std::atomic<bool> enabled_;
+  static Slot slots_[kProfileCategoryCount];
+};
+
+/// The RAII probe. Reads the enable flag once at construction; a scope
+/// that starts enabled records even if the flag flips mid-scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(ProfileCategory category)
+      : category_(category), active_(Profiler::enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (!active_) return;
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    Profiler::record(category_, static_cast<std::uint64_t>(ns));
+  }
+
+ private:
+  ProfileCategory category_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace byzcast::obs
+
+#define BYZCAST_PROFILE_CAT_(a, b) a##b
+#define BYZCAST_PROFILE_NAME_(line) BYZCAST_PROFILE_CAT_(byzcast_prof_, line)
+/// Times the rest of the enclosing scope under `category`.
+#define BYZCAST_PROFILE(category) \
+  ::byzcast::obs::ScopedTimer BYZCAST_PROFILE_NAME_(__LINE__)(category)

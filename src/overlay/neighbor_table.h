@@ -13,11 +13,12 @@
 #include <vector>
 
 #include "des/time.h"
+#include "obs/gauge.h"
 #include "util/node_id.h"
 
 namespace byzcast::overlay {
 
-class NeighborTable {
+class NeighborTable : public obs::GaugeSource {
  public:
   struct Entry {
     NodeId id = kInvalidNode;
@@ -64,6 +65,11 @@ class NeighborTable {
   [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
   /// Ids of all live entries (our N(1) estimate), sorted.
   [[nodiscard]] std::vector<NodeId> neighbor_ids() const;
+
+  /// Gauge: current neighbour count, sampled by the obs::Timeline.
+  void poll_gauges(obs::GaugeVisitor& visitor) const override {
+    visitor.gauge("neighbors", static_cast<std::int64_t>(entries_.size()));
+  }
 
  private:
   des::SimDuration entry_timeout_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/profiler.h"
 #include "radio/radio.h"
 
 namespace byzcast::radio {
@@ -138,6 +139,7 @@ void Medium::transmit(NodeId sender, util::Buffer payload) {
 
 void Medium::begin_transmission(Frame frame, des::SimTime t_start,
                                 des::SimTime t_end) {
+  BYZCAST_PROFILE(obs::ProfileCategory::kMediumFanout);
   const NodeId sender = frame.sender;
   if (!attached_[sender]) return;  // radio died between queueing and airtime
   Radio* tx_radio = radios_[sender];

@@ -23,4 +23,8 @@ void Radio::attach() { medium_.set_attached(id_, true); }
 void Radio::detach() { medium_.set_attached(id_, false); }
 bool Radio::attached() const { return medium_.attached(id_); }
 
+void Radio::poll_gauges(obs::GaugeVisitor& visitor) const {
+  visitor.gauge("attached", attached() ? 1 : 0);
+}
+
 }  // namespace byzcast::radio

@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "mobility/mobility_model.h"
+#include "obs/gauge.h"
 #include "radio/packet.h"
 #include "util/node_id.h"
 
@@ -15,7 +16,7 @@ namespace byzcast::radio {
 
 class Medium;
 
-class Radio {
+class Radio : public obs::GaugeSource {
  public:
   using ReceiveHandler = std::function<void(const Frame&)>;
 
@@ -47,6 +48,10 @@ class Radio {
   [[nodiscard]] geo::Vec2 position_at(des::SimTime t) const {
     return mobility_.position_at(t);
   }
+
+  /// Gauge: 1 while attached to the medium, 0 during outages — the
+  /// obs::Timeline's view of fault-injection downtime.
+  void poll_gauges(obs::GaugeVisitor& visitor) const override;
 
  private:
   friend class Medium;

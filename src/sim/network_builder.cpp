@@ -220,9 +220,30 @@ Network::Network(const ScenarioConfig& config)
   if (!config.fault_schedule.empty()) {
     injector_ = std::make_unique<FaultInjector>(*this, config.fault_schedule);
   }
+
+  // Flight recorder, opt-in for the same reason the injector is: its
+  // sampling timer occupies slots in the deterministic event order, so
+  // telemetry-free runs must not construct one.
+  if (config.telemetry_interval > 0) {
+    timeline_ = std::make_unique<obs::Timeline>(sim_, metrics_,
+                                                config.telemetry_interval);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i < byzcast_nodes_.size() && byzcast_nodes_[i]) {
+        timeline_->add_source("node" + std::to_string(i), *byzcast_nodes_[i]);
+      }
+      timeline_->add_source("radio" + std::to_string(i), *radios_[i]);
+    }
+    timeline_->start();
+  }
 }
 
 Network::~Network() = default;
+
+obs::TimelineData Network::timeline_data() {
+  if (!timeline_) return {};
+  timeline_->sample_now();
+  return timeline_->data();
+}
 
 core::ByzcastNode* Network::byzcast_node(NodeId node) {
   if (node >= byzcast_nodes_.size()) return nullptr;

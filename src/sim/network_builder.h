@@ -17,6 +17,7 @@
 #include "crypto/signature.h"
 #include "des/simulator.h"
 #include "mobility/mobility_model.h"
+#include "obs/timeline.h"
 #include "radio/medium.h"
 #include "radio/radio.h"
 #include "sim/scenario.h"
@@ -42,6 +43,12 @@ class Network {
   [[nodiscard]] stats::Metrics& metrics() { return metrics_; }
   /// Populated when config.enable_trace is set (empty otherwise).
   [[nodiscard]] trace::TraceRecorder& trace() { return trace_; }
+  /// The flight recorder, armed when config.telemetry_interval > 0
+  /// (nullptr otherwise).
+  [[nodiscard]] obs::Timeline* timeline() { return timeline_.get(); }
+  /// Copies the recorded timeline out, closing the final partial bucket
+  /// with one last sample first. Empty when telemetry is off.
+  [[nodiscard]] obs::TimelineData timeline_data();
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
 
   /// Invokes the protocol-appropriate broadcast on `node` (must be
@@ -131,6 +138,7 @@ class Network {
   /// Permanently gone (kLeave) — recover_node refuses these.
   std::vector<bool> departed_;
   std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<obs::Timeline> timeline_;
 };
 
 }  // namespace byzcast::sim

@@ -40,6 +40,7 @@ RunResult run_workload(Network& network) {
 
   RunResult result;
   result.metrics = network.metrics();
+  result.timeline = network.timeline_data();
   result.correct_count = network.correct_nodes().size();
   result.byzantine_count = network.byzantine_nodes().size();
   result.sim_seconds = des::to_seconds(sim.now());

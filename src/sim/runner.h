@@ -25,6 +25,10 @@ struct RunResult {
   /// Fraction of node-seconds the nodes were up: 1.0 for fault-free runs,
   /// lower when the fault schedule took nodes down.
   double availability = 1.0;
+  /// Flight-recorder samples (obs/timeline.h); empty unless
+  /// config.telemetry_interval was set. Copyable like metrics, so sweep
+  /// replicas carry their timelines into SweepPoint for run reports.
+  obs::TimelineData timeline;
 };
 
 /// Runs one scenario start to finish.

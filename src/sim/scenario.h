@@ -76,6 +76,11 @@ struct ScenarioConfig {
   /// Record structured protocol events (trace/trace.h) for every byzcast
   /// node. Off by default: benches aggregate through Metrics instead.
   bool enable_trace = false;
+  /// Sim-time sampling interval for the obs::Timeline flight recorder;
+  /// 0 (default) = no Timeline is constructed at all, so — like the empty
+  /// fault schedule above — runs without telemetry stay event-for-event
+  /// identical to pre-obs builds.
+  des::SimDuration telemetry_interval = 0;
   des::SimDuration warmup = des::seconds(6);   ///< overlay stabilization
   des::SimDuration cooldown = des::seconds(12);  ///< recovery tail
 

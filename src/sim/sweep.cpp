@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cinttypes>
-#include <cstdio>
 #include <exception>
 #include <memory>
 #include <ostream>
@@ -12,6 +10,7 @@
 #include <thread>
 
 #include "sim/network_builder.h"
+#include "util/json.h"
 
 namespace byzcast::sim {
 
@@ -60,35 +59,11 @@ void parallel_for(std::size_t count, unsigned threads,
   }
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-/// Shortest-round-trip double formatting, locale-independent: equal
-/// doubles always print equal bytes, which is what sweep_test diffs.
-std::string json_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-std::string json_cell(const util::Cell& cell) {
-  if (const auto* s = std::get_if<std::string>(&cell)) {
-    return "\"" + json_escape(*s) + "\"";
-  }
-  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%" PRId64, *i);
-    return buf;
-  }
-  return json_double(std::get<double>(cell));
-}
+// JSON formatting rules shared with the obs run reports (util/json.h):
+// the byte-stability guarantee sweep_test diffs lives there.
+using util::json_cell;
+using util::json_double;
+using util::json_escape;
 
 }  // namespace
 
@@ -162,6 +137,10 @@ MetricSpec observed(std::string name, std::size_t index,
 
 SweepSpec& SweepSpec::base(ScenarioConfig config) {
   base_ = std::move(config);
+  return *this;
+}
+SweepSpec& SweepSpec::mutate_base(const Mutator& edit) {
+  edit(base_);
   return *this;
 }
 SweepSpec& SweepSpec::axis(std::string name) {

@@ -87,6 +87,9 @@ class SweepSpec {
   /// Base scenario every point starts from (seed is overwritten per
   /// replica).
   SweepSpec& base(ScenarioConfig config);
+  /// Edits the already-set base in place — how shared flags (e.g. the
+  /// bench --telemetry-ms stamp) adjust a spec a bench finished building.
+  SweepSpec& mutate_base(const Mutator& edit);
   /// Names the axis column in tables/JSON.
   SweepSpec& axis(std::string name);
   /// Appends one axis value: its printed label and the config edit it

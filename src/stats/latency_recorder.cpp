@@ -33,4 +33,23 @@ double LatencyRecorder::max() const {
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
+LatencyHistogram LatencyRecorder::histogram() const {
+  LatencyHistogram h;
+  h.upper_bounds.assign(kLatencyHistogramEdges.begin(),
+                        kLatencyHistogramEdges.end());
+  h.counts.assign(kLatencyHistogramEdges.size() + 1, 0);
+  for (double s : samples_) {
+    std::size_t bucket = kLatencyHistogramEdges.size();  // overflow
+    for (std::size_t i = 0; i < kLatencyHistogramEdges.size(); ++i) {
+      if (s <= kLatencyHistogramEdges[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    ++h.counts[bucket];
+  }
+  h.total = samples_.size();
+  return h;
+}
+
 }  // namespace byzcast::stats

@@ -1,0 +1,36 @@
+#include "util/json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace byzcast::util {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_cell(const Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    return "\"" + json_escape(*s) + "\"";
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, *i);
+    return buf;
+  }
+  return json_double(std::get<double>(cell));
+}
+
+}  // namespace byzcast::util

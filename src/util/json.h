@@ -1,0 +1,28 @@
+// Minimal deterministic JSON emission helpers, shared by the sweep
+// engine's write_json and the obs run reports. Not a JSON library — just
+// the two formatting rules every emitter must agree on so equal inputs
+// produce byte-identical artifacts:
+//
+//  * strings escape only the characters our identifiers can contain;
+//  * doubles print with %.17g (shortest round-trip, locale-independent).
+#pragma once
+
+#include <string>
+
+#include "util/table.h"
+
+namespace byzcast::util {
+
+/// Escapes `"` and `\` (our labels/metric names never contain control
+/// characters; emitting one is a bug upstream, not here).
+std::string json_escape(const std::string& s);
+
+/// Locale-independent shortest-round-trip double formatting: equal
+/// doubles always print equal bytes (what determinism diffs rely on).
+std::string json_double(double v);
+
+/// Formats a table Cell as a JSON value: quoted string, integer, or
+/// json_double, so axis values keep their native type in reports.
+std::string json_cell(const Cell& cell);
+
+}  // namespace byzcast::util

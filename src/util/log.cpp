@@ -6,6 +6,7 @@ namespace byzcast::util {
 
 std::atomic<LogLevel> Log::level_{LogLevel::kOff};
 std::function<std::uint64_t()> Log::clock_;
+Log::Sink Log::sink_;
 
 namespace {
 const char* level_name(LogLevel level) {
@@ -29,6 +30,10 @@ const char* level_name(LogLevel level) {
 
 void Log::write(LogLevel level, const std::string& component,
                 const std::string& message) {
+  if (sink_) {
+    sink_(level, component, message);
+    return;
+  }
   if (clock_) {
     std::uint64_t us = clock_();
     std::fprintf(stderr, "[%10.6fs] %s %-10s %s\n",

@@ -31,6 +31,16 @@ class Log {
   static void set_clock(std::function<std::uint64_t()> now) {
     clock_ = std::move(now);
   }
+  /// Receives every emitted line after level filtering and before
+  /// formatting, so sinks can route structured records (level, component,
+  /// message) wherever they like — a test capture buffer, a file, a
+  /// collector.
+  using Sink = std::function<void(LogLevel, const std::string& component,
+                                  const std::string& message)>;
+  /// Replaces the output sink; nullptr restores the stderr default.
+  /// Configure-before-run like set_clock: not synchronized against
+  /// concurrent write() calls.
+  static void set_sink(Sink sink) { sink_ = std::move(sink); }
   static bool enabled(LogLevel level) { return level >= Log::level(); }
   static void write(LogLevel level, const std::string& component,
                     const std::string& message);
@@ -38,6 +48,7 @@ class Log {
  private:
   static std::atomic<LogLevel> level_;
   static std::function<std::uint64_t()> clock_;
+  static Sink sink_;
 };
 
 namespace detail {

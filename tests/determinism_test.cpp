@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/hash.h"
+#include "obs/timeline.h"
 #include "sim/runner.h"
 
 namespace byzcast {
@@ -75,6 +76,24 @@ TEST(Determinism, GoldenSnapshotHashUnchanged) {
   std::string snap = stats::snapshot(sim::run_scenario(config).metrics);
   EXPECT_EQ(snap.size(), 2508u);
   EXPECT_EQ(crypto::fnv1a(snap), 0x4771d0fe352e8837ULL) << snap;
+}
+
+// The obs::Timeline samples from a DES timer, so its snapshot is part of
+// the deterministic surface too: same (ScenarioConfig, seed) — with
+// telemetry enabled — must give byte-identical timeline dumps, and the
+// metrics snapshot must match the telemetry-off run exactly (the sampler
+// only reads counters; it must never perturb the event order).
+TEST(Determinism, TelemetryRunsAreByteIdenticalAndNonPerturbing) {
+  sim::ScenarioConfig config = small_scenario(5);
+  std::string plain = stats::snapshot(sim::run_scenario(config).metrics);
+
+  config.telemetry_interval = des::millis(500);
+  sim::RunResult a = sim::run_scenario(config);
+  sim::RunResult b = sim::run_scenario(config);
+  EXPECT_FALSE(a.timeline.empty());
+  EXPECT_EQ(obs::snapshot(a.timeline), obs::snapshot(b.timeline));
+  EXPECT_EQ(stats::snapshot(a.metrics), stats::snapshot(b.metrics));
+  EXPECT_EQ(stats::snapshot(a.metrics), plain);
 }
 
 TEST(Determinism, AdversarialRunsAreDeterministicToo) {

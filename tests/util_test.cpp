@@ -4,6 +4,8 @@
 
 #include "util/bytes.h"
 #include "util/cli.h"
+#include "util/json.h"
+#include "util/log.h"
 #include "util/table.h"
 
 namespace byzcast::util {
@@ -280,6 +282,51 @@ TEST(Cli, GeneratedHelpListsFlagsAndDefaults) {
   std::ostringstream unused;
   EXPECT_FALSE(no_help.handle_help("prog", unused));
   EXPECT_EQ(unused.str(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Log sink
+// ---------------------------------------------------------------------------
+
+TEST(Log, SinkCapturesRecordsAfterLevelFiltering) {
+  struct Record {
+    LogLevel level;
+    std::string component;
+    std::string message;
+  };
+  std::vector<Record> captured;
+  LogLevel saved_level = Log::level();
+  Log::set_level(LogLevel::kWarn);
+  Log::set_sink([&captured](LogLevel level, const std::string& component,
+                            const std::string& message) {
+    captured.push_back({level, component, message});
+  });
+
+  BYZCAST_INFO("quiet") << "below the level, must not reach the sink";
+  BYZCAST_WARN("trust") << "node " << 7 << " suspected";
+
+  Log::set_sink(nullptr);  // restore stderr before asserting
+  Log::set_level(saved_level);
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].level, LogLevel::kWarn);
+  EXPECT_EQ(captured[0].component, "trust");
+  EXPECT_EQ(captured[0].message, "node 7 suspected");
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers
+// ---------------------------------------------------------------------------
+
+TEST(Json, EscapeQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(Json, CellFormatsByAlternative) {
+  EXPECT_EQ(json_cell(Cell{std::string("f+1")}), "\"f+1\"");
+  EXPECT_EQ(json_cell(Cell{std::int64_t{42}}), "42");
+  EXPECT_EQ(json_cell(Cell{0.5}), "0.5");
 }
 
 }  // namespace
