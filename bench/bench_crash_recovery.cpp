@@ -18,13 +18,21 @@ int main(int argc, char** argv) {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
   bench::register_sweep_flags(args);
-  args.add_flag("n", 40, "network size");
+  args.add_flag("n", 40, "network size")
+      .add_flag("sync", false, "enable batched range-sync catch-up");
   if (args.handle_help(argv[0], std::cout)) return 0;
   bench::SweepOptions opt = bench::sweep_options(args, argv[0]);
   auto n = static_cast<std::size_t>(args.get_int("n"));
+  bool sync_on = args.get_bool("sync");
+
+  sim::ScenarioConfig base = bench::default_scenario(n);
+  // --sync: recovered nodes catch up through batched range-sync sessions
+  // (DESIGN.md §11) instead of per-message gossip requests alone; the
+  // recovery_kb column shows the on-air cost of either path.
+  base.protocol_config.sync.enabled = sync_on;
 
   sim::SweepSpec spec;
-  spec.base(bench::default_scenario(n))
+  spec.base(base)
       .axis("crash_frac")
       .variant_axis("delay_s")
       .replicas(opt.replicas)
@@ -82,6 +90,14 @@ int main(int argc, char** argv) {
                        [](const sim::ReplicaView& v) {
                          return v.result.metrics.catchup_latency().percentile(
                              0.99);
+                       }},
+       // On-air catch-up cost: every REQUEST/FIND/sync packet plus every
+       // DATA retransmission they trigger (stats::Metrics recovery_bytes).
+       sim::MetricSpec{"recovery_kb",
+                       [](const sim::ReplicaView& v) {
+                         return static_cast<double>(
+                                    v.result.metrics.recovery_bytes()) /
+                                1024.0;
                        }}},
       opt);
   return 0;

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
 
   util::Table table({"t_s", "bcast", "mean_latency_ms", "delivered",
                      "suspicion_pairs", "overlay_correct_members",
-                     "overlay_healthy"});
+                     "overlay_healthy", "recovery_kb"});
 
   NodeId sender = network->senders()[0];
   for (std::size_t i = 0; i < bcasts; ++i) {
@@ -83,11 +83,16 @@ int main(int argc, char** argv) {
       delivered = static_cast<std::int64_t>(rec->second.accepted.size());
       mean_ms /= static_cast<double>(delivered);
     }
+    // Cumulative on-air recovery cost: the degradation window should show
+    // this climbing steeply (gossip-repair traffic) while the healed tail
+    // flattens out.
     table.add_row({des::to_seconds(sim.now()), static_cast<std::int64_t>(i),
                    mean_ms, delivered, pairs, correct_members,
                    std::string(network->correct_overlay_connected_and_dominating()
                                    ? "yes"
-                                   : "no")});
+                                   : "no"),
+                   static_cast<double>(network->metrics().recovery_bytes()) /
+                       1024.0});
   }
   // Let the last broadcasts finish recovering before reading the table.
   sim.run_until(sim.now() + des::seconds(10));

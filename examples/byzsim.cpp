@@ -130,6 +130,17 @@ int main(int argc, char** argv) try {
   config.protocol_config.trust_propagation =
       args.get_bool("trust-propagation", true);
 
+  // Batched anti-entropy range-sync (DESIGN.md §11). --range-sync turns
+  // sessions on for crash recovery; --sync-period additionally runs them
+  // periodically (0 = recovery-only, the default).
+  config.protocol_config.sync.enabled = args.get_bool("range-sync", false);
+  config.protocol_config.sync.period =
+      des::from_seconds(args.get_double("sync-period", 0));
+  config.protocol_config.sync.startup_delay =
+      des::from_seconds(args.get_double("sync-delay", 2));
+  config.protocol_config.sync.batch_max_messages =
+      static_cast<std::size_t>(args.get_int("sync-batch", 16));
+
   // Fault schedule (sim/fault.h documents the line format):
   //   ./byzsim --fault-script=faults.txt
   // with faults.txt containing e.g. "t=10 crash node=3".
@@ -226,6 +237,10 @@ int main(int argc, char** argv) try {
         static_cast<std::int64_t>(m.recoveries_completed()));
     add("catchup_mean_s", m.catchup_latency().mean());
     add("catchup_p99_s", m.catchup_latency().percentile(0.99));
+  }
+  if (!config.fault_schedule.empty() || config.protocol_config.sync.enabled) {
+    add("recovery_bytes", static_cast<std::int64_t>(m.recovery_bytes()));
+    add("recovery_packets", static_cast<std::int64_t>(m.recovery_packets()));
   }
   if (config.protocol == sim::ProtocolKind::kByzcast) {
     add("overlay_size", static_cast<std::int64_t>(result.overlay_size_end));

@@ -74,6 +74,26 @@ ByzcastNode::ByzcastNode(des::Simulator& sim, radio::Radio& radio,
     verbose_.set_min_spacing(static_cast<std::uint8_t>(MsgType::kRequestMsg),
                              config_.request_min_spacing);
   }
+  if (config_.sync.enabled) {
+    // Constructed (and handed its own rng split) only when enabled: a
+    // sync-disabled node must consume exactly the same rng stream and
+    // schedule exactly the same events as a pre-sync build.
+    sync::SyncManager::Hooks hooks;
+    hooks.send = [this](const Packet& packet) { send_packet(packet); };
+    hooks.candidates = [this] { return sync_candidates(); };
+    hooks.suspect = [this](NodeId node, fd::SuspicionReason reason) {
+      suspect(node, reason);
+    };
+    hooks.admit = [this](const DataMsg& msg, NodeId from) {
+      admit_synced(msg, from);
+    };
+    hooks.trace = [this](trace::EventKind kind, NodeId peer, MessageId mid,
+                         std::uint64_t a) { trace_event(kind, peer, mid, a); };
+    sync_ = std::make_unique<sync::SyncManager>(sim, id(), pki, signer_,
+                                                store_, config_.sync,
+                                                std::move(hooks),
+                                                sim.split_rng());
+  }
 }
 
 void ByzcastNode::start() {
@@ -82,6 +102,7 @@ void ByzcastNode::start() {
   // from synchronizing into collision bursts.
   gossip_timer_.start(rng_.next_below(config_.gossip_period) + 1);
   hello_timer_.start(rng_.next_below(config_.hello_period) + 1);
+  if (sync_) sync_->start();
 }
 
 void ByzcastNode::stop() {
@@ -90,6 +111,7 @@ void ByzcastNode::stop() {
   ++incarnation_;
   gossip_timer_.stop();
   hello_timer_.stop();
+  if (sync_) sync_->stop();
 }
 
 void ByzcastNode::restart() {
@@ -107,7 +129,12 @@ void ByzcastNode::restart() {
   pending_missing_.clear();
   active_ = false;
   dominator_ = false;
+  if (sync_) sync_->reset();
   start();
+  // Recovery hook: a rejoiner knows it lost everything, so it opens a
+  // catch-up session once HELLOs have repopulated its neighbour table
+  // instead of waiting for gossip to reveal each miss one by one.
+  if (sync_) sync_->begin_catchup();
 }
 
 void ByzcastNode::suspect(NodeId node, fd::SuspicionReason reason) {
@@ -131,6 +158,9 @@ void ByzcastNode::poll_gauges(obs::GaugeVisitor& visitor) const {
   visitor.gauge("pending_requests",
                 static_cast<std::int64_t>(pending_missing_.size()));
   visitor.gauge("running", running_ ? 1 : 0);
+  // Present iff sync is enabled — constant within a run, so timeline
+  // columns stay stable.
+  if (sync_) sync_->poll_gauges(visitor);
 }
 
 std::vector<NodeId> ByzcastNode::overlay_neighbors() const {
@@ -148,9 +178,22 @@ void ByzcastNode::send_packet(const Packet& packet) {
   send_frame(to_msg_kind(packet_type(packet)), serialize(packet));
 }
 
-void ByzcastNode::send_frame(stats::MsgKind kind, util::Buffer bytes) {
+void ByzcastNode::send_frame(stats::MsgKind kind, util::Buffer bytes,
+                             bool recovery) {
   if (metrics_ != nullptr) {
     metrics_->on_packet_sent(kind, bytes.size());
+    switch (kind) {
+      case stats::MsgKind::kRequestMsg:
+      case stats::MsgKind::kFindMissingMsg:
+      case stats::MsgKind::kFrontier:
+      case stats::MsgKind::kBulkPull:
+      case stats::MsgKind::kBulkReply:
+        recovery = true;  // these kinds only exist to recover
+        break;
+      default:
+        break;
+    }
+    if (recovery) metrics_->on_recovery_bytes(bytes.size());
   }
   radio_.send(std::move(bytes));
 }
@@ -219,6 +262,12 @@ void ByzcastNode::on_frame(const radio::Frame& frame) {
           handle_find(msg, frame.sender);
         } else if constexpr (std::is_same_v<T, HelloMsg>) {
           handle_hello(msg, frame.sender);
+        } else if constexpr (std::is_same_v<T, FrontierMsg>) {
+          if (sync_) sync_->on_frontier(msg, frame.sender);
+        } else if constexpr (std::is_same_v<T, BulkPullMsg>) {
+          if (sync_) sync_->on_bulk_pull(msg, frame.sender);
+        } else if constexpr (std::is_same_v<T, BulkReplyMsg>) {
+          if (sync_) sync_->on_bulk_reply(msg, frame.sender);
         }
       },
       *packet);
@@ -293,6 +342,38 @@ void ByzcastNode::accept_and_forward(const DataMsg& msg, NodeId from) {
   }
 }
 
+void ByzcastNode::admit_synced(const DataMsg& msg, NodeId from) {
+  store_.insert(msg, sim_.now());
+  store_.mark_gossip_seen(msg.id);
+  // No forward, no lazycast: everyone else already has this message —
+  // that is exactly why a frontier could advertise it. Re-flooding the
+  // backlog would turn an O(missing) catch-up into an O(missing) storm.
+  if (MessageStore::Stored* stored = store_.find(msg.id)) {
+    stored->gossip_enqueued = true;
+  }
+  if (store_.mark_accepted(msg.id)) {
+    trace_event(trace::EventKind::kAccept, from, msg.id);
+    if (metrics_ != nullptr) {
+      metrics_->on_accept(stats::MessageKey{msg.id.origin, msg.id.seq}, id(),
+                          sim_.now());
+    }
+    if (accept_handler_) accept_handler_(msg.id, msg.payload);
+  }
+}
+
+std::vector<NodeId> ByzcastNode::sync_candidates() const {
+  std::vector<NodeId> active;
+  std::vector<NodeId> passive;
+  for (const auto& entry : table_.entries()) {
+    if (trust_.level(entry.id) == fd::TrustLevel::kUntrusted) continue;
+    (entry.active ? active : passive).push_back(entry.id);
+  }
+  std::sort(active.begin(), active.end());
+  std::sort(passive.begin(), passive.end());
+  active.insert(active.end(), passive.begin(), passive.end());
+  return active;
+}
+
 // ---------------------------------------------------------------------------
 // Upon receive(gossip_message, GOSSIP) sent by p_j (Figure 3 lines 26-41)
 // ---------------------------------------------------------------------------
@@ -329,8 +410,19 @@ void ByzcastNode::handle_gossip(const GossipMsg& msg, NodeId from) {
     // originator is the only holder in range. The originator answers the
     // REQUEST through the normal `current_node = p_k` path (line 43).
     if (!config_.recovery_enabled) continue;
-    auto [pending, fresh] = pending_missing_.emplace(
-        entry.id, PendingMissing{entry, {from}, 0, 0, sim_.now()});
+    PendingMissing fresh_entry;
+    fresh_entry.entry = entry;
+    fresh_entry.gossipers = {from};
+    fresh_entry.backoff = sync::Backoff(config_.request_backoff);
+    fresh_entry.first_heard = sim_.now();
+    auto [pending, fresh] =
+        pending_missing_.emplace(entry.id, std::move(fresh_entry));
+    if (fresh) {
+      // Attempt 0 of the backoff is the legacy request_retry spacing,
+      // unjittered (jitter_from_attempt=1): no rng draw, no divergence
+      // from the historical event order until a retry actually repeats.
+      pending->second.next_delay = pending->second.backoff.next_delay(rng_);
+    }
     if (!fresh) {
       auto& gossipers = pending->second.gossipers;
       if (std::find(gossipers.begin(), gossipers.end(), from) ==
@@ -463,7 +555,7 @@ void ByzcastNode::reply_with_stored(const MessageId& id_, std::uint8_t ttl) {
   }
   stored->last_reply = sim_.now();
   trace_event(trace::EventKind::kRetransmission, kInvalidNode, id_);
-  send_frame(stats::MsgKind::kData, stored->wire(ttl));
+  send_frame(stats::MsgKind::kData, stored->wire(ttl), /*recovery=*/true);
 }
 
 // ---------------------------------------------------------------------------
@@ -598,22 +690,27 @@ void ByzcastNode::anti_entropy_regossip() {
 void ByzcastNode::retry_pending_requests() {
   for (auto it = pending_missing_.begin(); it != pending_missing_.end();) {
     PendingMissing& pending = it->second;
-    if (store_.has(it->first) ||
-        pending.attempts >= kMaxRequestAttempts ||
+    if (store_.has(it->first) || pending.backoff.exhausted() ||
         sim_.now() - pending.first_heard > config_.purge_timeout) {
       it = pending_missing_.erase(it);
       continue;
     }
+    // Spacing is measured from the last REQUEST for this id — whichever
+    // path sent it — like the legacy fixed interval, but the interval
+    // itself grows exponentially with jitter (config_.request_backoff):
+    // colliding requesters decorrelate instead of re-colliding, and a
+    // persistently unsupplied id backs off instead of hammering.
     auto last = last_request_.find(it->first);
-    if (last == last_request_.end() ||
-        sim_.now() - last->second >= config_.request_retry) {
+    des::SimTime last_at =
+        last == last_request_.end() ? pending.first_heard : last->second;
+    if (sim_.now() - last_at >= pending.next_delay) {
       last_request_[it->first] = sim_.now();
-      ++pending.attempts;
       NodeId target =
           pending.gossipers[pending.next_target % pending.gossipers.size()];
       ++pending.next_target;
       trace_event(trace::EventKind::kRequestSent, target, it->first);
       send_packet(RequestMsg{pending.entry, target});
+      pending.next_delay = pending.backoff.next_delay(rng_);
     }
     ++it;
   }

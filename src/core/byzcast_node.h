@@ -39,6 +39,8 @@
 #include "overlay/overlay.h"
 #include "radio/radio.h"
 #include "stats/metrics.h"
+#include "sync/backoff.h"
+#include "sync/sync.h"
 #include "trace/trace.h"
 
 namespace byzcast::core {
@@ -112,6 +114,13 @@ class ByzcastNode : public obs::GaugeSource {
   [[nodiscard]] std::size_t pending_request_count() const {
     return pending_missing_.size();
   }
+  /// The range-sync endpoint; nullptr unless config.sync.enabled (so a
+  /// sync-disabled node carries zero sync state and zero extra rng
+  /// draws — the determinism golden hash depends on that).
+  [[nodiscard]] sync::SyncManager* sync_manager() { return sync_.get(); }
+  [[nodiscard]] const sync::SyncManager* sync_manager() const {
+    return sync_.get();
+  }
 
   /// The node's full flight-recorder row: delegates to the store, TRUST
   /// and neighbour table, then adds its own role/recovery gauges
@@ -135,8 +144,12 @@ class ByzcastNode : public obs::GaugeSource {
   void send_packet(const Packet& packet);
   /// The single byte-accounting funnel: every outgoing buffer — freshly
   /// serialized or replayed from a store/frame cache — passes through
-  /// here exactly once on its way to the radio.
-  void send_frame(stats::MsgKind kind, util::Buffer bytes);
+  /// here exactly once on its way to the radio. `recovery` marks DATA
+  /// retransmissions for the recovery-bytes metric; packets whose kind is
+  /// inherently recovery traffic (REQUEST/FIND/sync) are counted
+  /// regardless of the flag.
+  void send_frame(stats::MsgKind kind, util::Buffer bytes,
+                  bool recovery = false);
   /// Sends DATA for a stored message with the given ttl, honouring the
   /// reply-suppression window. No-op if not stored.
   void reply_with_stored(const MessageId& id, std::uint8_t ttl);
@@ -146,6 +159,13 @@ class ByzcastNode : public obs::GaugeSource {
   /// Accepts + stores + forwards + gossips a verified DATA message
   /// (the first-receipt body of Figure 3 lines 7-21).
   void accept_and_forward(const DataMsg& msg, NodeId from);
+  /// Quiet admission for range-sync catch-up: store + accept + deliver,
+  /// but no forward and no gossip relay — the messages are old news to
+  /// everyone but us, and catch-up must stay O(missing) on the air.
+  void admit_synced(const DataMsg& msg, NodeId from);
+  /// Peers a sync session may ask, overlay members first (they are the
+  /// best-provisioned responders), untrusted nodes excluded.
+  [[nodiscard]] std::vector<NodeId> sync_candidates() const;
   /// Builds this node's current HELLO (signed).
   [[nodiscard]] HelloMsg make_hello();
   /// True when TRUST lets us rely on `node` for overlay purposes.
@@ -203,20 +223,30 @@ class ByzcastNode : public obs::GaugeSource {
   std::map<std::pair<MessageId, NodeId>, int> request_counts_;
 
   // Known-missing messages (gossip heard, data absent). Re-requested on
-  // the gossip tick until resolved or the attempt budget runs out, so a
-  // lost REQUEST or reply does not strand the message forever. Retries
-  // rotate across every node heard gossiping the id — a Byzantine
-  // gossiper that never supplies cannot monopolize the retries.
+  // the gossip tick under a jittered exponential backoff
+  // (config_.request_backoff; the shared sync::Backoff implementation)
+  // until resolved or the retry budget runs out, so a lost REQUEST or
+  // reply does not strand the message forever while a persistently
+  // missing one cannot draw unbounded traffic. Retries rotate across
+  // every node heard gossiping the id — a Byzantine gossiper that never
+  // supplies cannot monopolize the retries.
   struct PendingMissing {
     GossipEntry entry;
     std::vector<NodeId> gossipers;
     std::size_t next_target = 0;
-    int attempts = 0;
+    sync::Backoff backoff;
+    /// Current retry spacing, measured from the last REQUEST for the id
+    /// (whichever path sent it) exactly like the legacy fixed interval —
+    /// attempt 0 equals request_retry unjittered, so default-config runs
+    /// replay the historical event order until a second retry fires.
+    des::SimDuration next_delay = 0;
     des::SimTime first_heard = 0;
   };
   std::map<MessageId, PendingMissing> pending_missing_;
-  static constexpr int kMaxRequestAttempts = 12;
   void retry_pending_requests();
+  /// Range-sync session endpoint (DESIGN.md §11); allocated only when
+  /// config_.sync.enabled.
+  std::unique_ptr<sync::SyncManager> sync_;
   /// Re-gossips messages that neighbours' stability vectors show they
   /// lack (config_.anti_entropy; see config.h).
   void anti_entropy_regossip();

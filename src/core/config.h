@@ -20,6 +20,8 @@
 #include "fd/trust_fd.h"
 #include "fd/verbose_fd.h"
 #include "overlay/overlay.h"
+#include "sync/backoff.h"
+#include "sync/sync_config.h"
 
 namespace byzcast::core {
 
@@ -71,6 +73,19 @@ struct ProtocolConfig {
   /// intermittently-connected regime).
   bool anti_entropy = true;
   std::size_t anti_entropy_budget = 8;  ///< re-gossips per hello tick
+
+  /// Jittered exponential backoff for the per-message REQUEST_MSG retry
+  /// loop (shared sync::Backoff implementation). base mirrors the legacy
+  /// request_retry spacing and jitter_from_attempt=1 keeps the *first*
+  /// retry on the exact legacy schedule, so default-config runs stay
+  /// event-for-event identical to pre-backoff builds.
+  sync::BackoffPolicy request_backoff{des::seconds(1), des::seconds(8), 0.25,
+                                      /*jitter_from_attempt=*/1,
+                                      /*max_attempts=*/12};
+
+  /// Batched anti-entropy range-sync sessions (DESIGN.md §11); disabled
+  /// by default.
+  sync::SyncConfig sync{};
 
   /// β: one-hop transmission latency assumed by the analysis. Used only
   /// for max_timeout(); the real latency comes from the medium.

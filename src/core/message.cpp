@@ -11,6 +11,11 @@ constexpr std::size_t kMaxGossipEntries = 256;
 constexpr std::size_t kMaxNeighborList = 4096;
 constexpr std::size_t kMaxStabilityEntries = 512;
 
+// Largest serialized DATA packet: type ‖ id ‖ ttl ‖ len ‖ payload ‖ two
+// wire signatures. Bounds each blob a BULK_REPLY may embed.
+constexpr std::size_t kMaxDataPacketBytes =
+    1 + 8 + 1 + 4 + kMaxPayloadBytes + 2 * crypto::kWireSignatureBytes;
+
 // Strict bool: only 0/1 are canonical. Any other byte must fail the
 // parse, or an accepted packet would re-serialize to different bytes.
 bool read_bool(util::ByteReader& r) {
@@ -80,6 +85,59 @@ std::optional<std::vector<NodeId>> read_node_list(util::ByteReader& r) {
   for (std::uint32_t i = 0; i < count; ++i) nodes.push_back(r.u32());
   if (!r.ok()) return std::nullopt;
   return nodes;
+}
+
+void write_frontier_entries(util::ByteWriter& w,
+                            const std::vector<FrontierEntry>& entries) {
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const FrontierEntry& e : entries) {
+    w.u32(e.origin);
+    w.u32(e.prefix);
+    w.u64(e.tail_digest);
+  }
+}
+
+std::optional<std::vector<FrontierEntry>> read_frontier_entries(
+    util::ByteReader& r) {
+  std::uint32_t count = r.u32();
+  if (!r.ok() || count > kMaxFrontierEntries) return std::nullopt;
+  std::vector<FrontierEntry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    FrontierEntry e;
+    e.origin = r.u32();
+    e.prefix = r.u32();
+    e.tail_digest = r.u64();
+    entries.push_back(e);
+  }
+  if (!r.ok()) return std::nullopt;
+  return entries;
+}
+
+void write_pull_ranges(util::ByteWriter& w,
+                       const std::vector<PullRange>& ranges) {
+  w.u32(static_cast<std::uint32_t>(ranges.size()));
+  for (const PullRange& range : ranges) {
+    w.u32(range.origin);
+    w.u32(range.from_seq);
+    w.u32(range.count);
+  }
+}
+
+std::optional<std::vector<PullRange>> read_pull_ranges(util::ByteReader& r) {
+  std::uint32_t count = r.u32();
+  if (!r.ok() || count > kMaxPullRanges) return std::nullopt;
+  std::vector<PullRange> ranges;
+  ranges.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PullRange range;
+    range.origin = r.u32();
+    range.from_seq = r.u32();
+    range.count = r.u32();
+    ranges.push_back(range);
+  }
+  if (!r.ok()) return std::nullopt;
+  return ranges;
 }
 
 std::optional<HelloMsg> read_hello_fields(util::ByteReader& r) {
@@ -170,6 +228,61 @@ std::optional<Packet> parse_packet_impl(std::span<const std::uint8_t> bytes,
       if (!hello || !r.done()) return std::nullopt;
       return Packet{std::move(*hello)};
     }
+    case MsgType::kFrontier: {
+      FrontierMsg m;
+      m.from = r.u32();
+      m.target = r.u32();
+      m.response = read_bool(r);
+      m.nonce = r.u32();
+      if (!r.ok()) return std::nullopt;
+      auto entries = read_frontier_entries(r);
+      if (!entries) return std::nullopt;
+      m.entries = std::move(*entries);
+      m.sig = crypto::read_wire_signature(r);
+      if (!r.done()) return std::nullopt;
+      return Packet{std::move(m)};
+    }
+    case MsgType::kBulkPull: {
+      BulkPullMsg m;
+      m.from = r.u32();
+      m.target = r.u32();
+      m.nonce = r.u32();
+      if (!r.ok()) return std::nullopt;
+      auto ranges = read_pull_ranges(r);
+      if (!ranges) return std::nullopt;
+      m.ranges = std::move(*ranges);
+      m.sig = crypto::read_wire_signature(r);
+      if (!r.done()) return std::nullopt;
+      return Packet{std::move(m)};
+    }
+    case MsgType::kBulkReply: {
+      BulkReplyMsg m;
+      m.from = r.u32();
+      m.target = r.u32();
+      m.nonce = r.u32();
+      m.last = read_bool(r);
+      std::uint32_t count = r.u32();
+      if (!r.ok() || count > kMaxBatchMessages) return std::nullopt;
+      m.messages.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        // Each blob is length-prefixed; the view read is bounds-checked
+        // against the remaining frame, so a lying length field fails
+        // before any blob allocation happens. Blobs are opaque here —
+        // size-capped to a plausible DATA packet, verified by the sync
+        // session — and with a shared source they are zero-copy slices.
+        std::size_t blob_offset = r.pos() + 4;  // past the length prefix
+        std::span<const std::uint8_t> blob = r.bytes_view();
+        if (!r.ok() || blob.empty() || blob.size() > kMaxDataPacketBytes) {
+          return std::nullopt;
+        }
+        m.messages.push_back(source != nullptr
+                                 ? source->slice(blob_offset, blob.size())
+                                 : util::Buffer::copy_of(blob));
+      }
+      m.sig = crypto::read_wire_signature(r);
+      if (!r.done()) return std::nullopt;
+      return Packet{std::move(m)};
+    }
     default:
       return std::nullopt;
   }
@@ -189,6 +302,12 @@ stats::MsgKind to_msg_kind(MsgType type) {
       return stats::MsgKind::kFindMissingMsg;
     case MsgType::kHello:
       return stats::MsgKind::kHello;
+    case MsgType::kFrontier:
+      return stats::MsgKind::kFrontier;
+    case MsgType::kBulkPull:
+      return stats::MsgKind::kBulkPull;
+    case MsgType::kBulkReply:
+      return stats::MsgKind::kBulkReply;
   }
   return stats::MsgKind::kOther;
 }
@@ -222,6 +341,39 @@ std::vector<std::uint8_t> hello_sign_bytes(const HelloMsg& hello) {
   return w.take();
 }
 
+std::vector<std::uint8_t> frontier_sign_bytes(const FrontierMsg& msg) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kFrontier));
+  w.u32(msg.from);
+  w.u32(msg.target);
+  w.u8(msg.response ? 1 : 0);
+  w.u32(msg.nonce);
+  write_frontier_entries(w, msg.entries);
+  return w.take();
+}
+
+std::vector<std::uint8_t> bulk_pull_sign_bytes(const BulkPullMsg& msg) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kBulkPull));
+  w.u32(msg.from);
+  w.u32(msg.target);
+  w.u32(msg.nonce);
+  write_pull_ranges(w, msg.ranges);
+  return w.take();
+}
+
+std::vector<std::uint8_t> bulk_reply_sign_bytes(const BulkReplyMsg& msg) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kBulkReply));
+  w.u32(msg.from);
+  w.u32(msg.target);
+  w.u32(msg.nonce);
+  w.u8(msg.last ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(msg.messages.size()));
+  for (const util::Buffer& blob : msg.messages) w.bytes(blob);
+  return w.take();
+}
+
 MsgType packet_type(const Packet& packet) {
   return std::visit(
       [](const auto& p) -> MsgType {
@@ -233,6 +385,12 @@ MsgType packet_type(const Packet& packet) {
         if constexpr (std::is_same_v<T, FindMissingMsg>)
           return MsgType::kFindMissingMsg;
         if constexpr (std::is_same_v<T, HelloMsg>) return MsgType::kHello;
+        if constexpr (std::is_same_v<T, FrontierMsg>)
+          return MsgType::kFrontier;
+        if constexpr (std::is_same_v<T, BulkPullMsg>)
+          return MsgType::kBulkPull;
+        if constexpr (std::is_same_v<T, BulkReplyMsg>)
+          return MsgType::kBulkReply;
       },
       packet);
 }
@@ -280,6 +438,27 @@ util::Buffer serialize(const Packet& packet) {
           write_node_list(w, p.dominator_neighbors);
           write_node_list(w, p.suspects);
           write_stability(w, p.stability);
+          crypto::write_wire_signature(w, p.sig);
+        } else if constexpr (std::is_same_v<T, FrontierMsg>) {
+          w.u32(p.from);
+          w.u32(p.target);
+          w.u8(p.response ? 1 : 0);
+          w.u32(p.nonce);
+          write_frontier_entries(w, p.entries);
+          crypto::write_wire_signature(w, p.sig);
+        } else if constexpr (std::is_same_v<T, BulkPullMsg>) {
+          w.u32(p.from);
+          w.u32(p.target);
+          w.u32(p.nonce);
+          write_pull_ranges(w, p.ranges);
+          crypto::write_wire_signature(w, p.sig);
+        } else if constexpr (std::is_same_v<T, BulkReplyMsg>) {
+          w.u32(p.from);
+          w.u32(p.target);
+          w.u32(p.nonce);
+          w.u8(p.last ? 1 : 0);
+          w.u32(static_cast<std::uint32_t>(p.messages.size()));
+          for (const util::Buffer& blob : p.messages) w.bytes(blob);
           crypto::write_wire_signature(w, p.sig);
         }
       },

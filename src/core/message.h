@@ -1,4 +1,5 @@
-// Wire formats of the five protocol message types (paper Figures 3 & 4).
+// Wire formats of the protocol message types (paper Figures 3 & 4, plus
+// the range-sync extension of DESIGN.md §11).
 //
 //   DATA              msg_id ‖ origin ‖ ttl ‖ payload ‖ sig ‖ gossip_sig
 //   GOSSIP            aggregated entries of msg_id ‖ origin ‖ gossip_sig
@@ -7,6 +8,15 @@
 //   FIND_MISSING_MSG  one gossip entry ‖ gossiper ‖ issuer ‖ ttl
 //   HELLO             status ‖ neighbours ‖ suspects ‖ sig   (§3.3 beacons,
 //                     "overlay maintenance messages are signed as well")
+//   FRONTIER          from ‖ target ‖ response ‖ nonce ‖ per-origin
+//                     {origin ‖ prefix ‖ tail_digest} ‖ sig — one side of a
+//                     range-sync frontier exchange
+//   BULK_PULL         from ‖ target ‖ nonce ‖ ranges of
+//                     {origin ‖ from_seq ‖ count} ‖ sig — ask `target` for
+//                     every stored message in the ranges
+//   BULK_REPLY        from ‖ target ‖ nonce ‖ last ‖ length-prefixed DATA
+//                     packet blobs ‖ sig — one signed batch served verbatim
+//                     from the responder's cached wire bytes
 //
 // Two deliberate deviations from the pseudo-code, both sanctioned by the
 // paper's own footnotes:
@@ -50,7 +60,16 @@ enum class MsgType : std::uint8_t {
   kRequestMsg = 3,
   kFindMissingMsg = 4,
   kHello = 5,
+  kFrontier = 6,
+  kBulkPull = 7,
+  kBulkReply = 8,
 };
+
+/// Caps on the range-sync packets, enforced by the parser before any
+/// allocation happens (a Byzantine sender controls every count field).
+inline constexpr std::size_t kMaxFrontierEntries = 512;
+inline constexpr std::size_t kMaxPullRanges = 256;
+inline constexpr std::size_t kMaxBatchMessages = 64;
 
 stats::MsgKind to_msg_kind(MsgType type);
 
@@ -121,8 +140,65 @@ struct FindMissingMsg {
   std::uint8_t ttl = 2;
 };
 
-using Packet =
-    std::variant<DataMsg, GossipMsg, RequestMsg, FindMissingMsg, HelloMsg>;
+/// One origin's line in a sync frontier: "I have accepted every (origin,
+/// seq) with seq < prefix, and `tail_digest` folds the ragged accepted
+/// seqs at or above it" (0 when the tail is empty). Comparing frontiers
+/// is how a rejoiner computes its missing set locally — O(origins), not
+/// O(messages).
+struct FrontierEntry {
+  NodeId origin = kInvalidNode;
+  std::uint32_t prefix = 0;
+  std::uint64_t tail_digest = 0;
+};
+
+/// Range-sync step 1 (DESIGN.md §11): frontier exchange. The opener sends
+/// response=false with its own frontier; the responder answers with
+/// response=true echoing `nonce` so a session never confuses replies from
+/// an earlier attempt.
+struct FrontierMsg {
+  NodeId from = kInvalidNode;
+  NodeId target = kInvalidNode;
+  bool response = false;
+  std::uint32_t nonce = 0;
+  std::vector<FrontierEntry> entries;
+  crypto::Signature sig;  ///< sender over all fields above
+};
+
+/// Half-open request [from_seq, from_seq + count) of one origin's seqs.
+struct PullRange {
+  NodeId origin = kInvalidNode;
+  std::uint32_t from_seq = 0;
+  std::uint32_t count = 0;
+};
+
+/// Range-sync step 2: ask `target` for every stored message in `ranges`.
+struct BulkPullMsg {
+  NodeId from = kInvalidNode;
+  NodeId target = kInvalidNode;
+  std::uint32_t nonce = 0;
+  std::vector<PullRange> ranges;
+  crypto::Signature sig;  ///< sender over all fields above
+};
+
+/// Range-sync step 3: one signed batch of full DATA packets, each blob the
+/// responder's cached wire bytes verbatim (MessageStore::Stored::wire).
+/// The blobs are opaque at this layer — the sync session re-parses and
+/// verifies each one before admission, so the batch signature only binds
+/// the batch to the responder, it does not vouch for the contents.
+/// `last` = false means the batch hit a size cap and the requester should
+/// pull again for the remainder (requester-driven paging; the responder
+/// keeps no session state).
+struct BulkReplyMsg {
+  NodeId from = kInvalidNode;
+  NodeId target = kInvalidNode;
+  std::uint32_t nonce = 0;
+  bool last = true;
+  std::vector<util::Buffer> messages;
+  crypto::Signature sig;  ///< sender over all fields above
+};
+
+using Packet = std::variant<DataMsg, GossipMsg, RequestMsg, FindMissingMsg,
+                            HelloMsg, FrontierMsg, BulkPullMsg, BulkReplyMsg>;
 
 /// Bytes a signature of `id` covers for DATA (origin ‖ seq ‖ payload).
 std::vector<std::uint8_t> data_sign_bytes(
@@ -131,6 +207,10 @@ std::vector<std::uint8_t> data_sign_bytes(
 std::vector<std::uint8_t> gossip_sign_bytes(const MessageId& id);
 /// Bytes a HELLO signature covers (everything but the signature).
 std::vector<std::uint8_t> hello_sign_bytes(const HelloMsg& hello);
+/// Bytes the range-sync signatures cover (everything but the signature).
+std::vector<std::uint8_t> frontier_sign_bytes(const FrontierMsg& msg);
+std::vector<std::uint8_t> bulk_pull_sign_bytes(const BulkPullMsg& msg);
+std::vector<std::uint8_t> bulk_reply_sign_bytes(const BulkReplyMsg& msg);
 
 /// Serializes into one immutable shared buffer — the only allocation a
 /// packet's bytes ever make; radio, medium and store all share it.

@@ -70,6 +70,66 @@ bool MessageStore::accepted(const MessageId& id) const {
   return accepted_.count(id) > 0;
 }
 
+namespace {
+// FNV-1a fold of one little-endian u32 — the tail digest primitive. Kept
+// order-sensitive on purpose: tails are folded in ascending seq order, so
+// equal digests mean equal tails for honest parties.
+std::uint64_t fnv1a_u32(std::uint64_t h, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
+}  // namespace
+
+std::uint64_t MessageStore::tail_digest(NodeId origin) const {
+  std::uint32_t prefix = stability_prefix(origin);
+  auto it = accepted_.lower_bound({origin, prefix});
+  if (it == accepted_.end() || it->origin != origin) return 0;
+  std::uint64_t h = kFnvBasis;
+  for (; it != accepted_.end() && it->origin == origin; ++it) {
+    h = fnv1a_u32(h, it->seq);
+  }
+  return h;
+}
+
+std::vector<FrontierEntry> MessageStore::frontier() const {
+  std::vector<FrontierEntry> out;
+  // accepted_ is ordered by (origin, seq); one pass groups by origin.
+  for (auto it = accepted_.begin(); it != accepted_.end();) {
+    NodeId origin = it->origin;
+    FrontierEntry entry;
+    entry.origin = origin;
+    entry.prefix = stability_prefix(origin);
+    std::uint64_t h = kFnvBasis;
+    bool has_tail = false;
+    for (; it != accepted_.end() && it->origin == origin; ++it) {
+      if (it->seq >= entry.prefix) {
+        h = fnv1a_u32(h, it->seq);
+        has_tail = true;
+      }
+    }
+    entry.tail_digest = has_tail ? h : 0;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<MessageStore::Stored*> MessageStore::stored_range(
+    NodeId origin, std::uint32_t from_seq, std::uint32_t count) {
+  std::vector<Stored*> out;
+  std::uint64_t end = static_cast<std::uint64_t>(from_seq) + count;
+  for (auto it = stored_.lower_bound({origin, from_seq});
+       it != stored_.end() && it->first.origin == origin &&
+       it->first.seq < end;
+       ++it) {
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
 void MessageStore::mark_gossip_seen(const MessageId& id) {
   gossip_seen_.insert(id);
 }

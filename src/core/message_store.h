@@ -67,6 +67,24 @@ class MessageStore : public obs::GaugeSource {
   [[nodiscard]] std::vector<std::pair<NodeId, std::uint32_t>>
   stability_vector() const;
 
+  // --- range-sync queries (DESIGN.md §11) --------------------------------
+  /// Per-origin sync frontier over the *accepted* set (which is never
+  /// purged): one FrontierEntry per origin we accepted anything from,
+  /// ascending origin. Note a frontier can advertise messages whose
+  /// stored bytes have since been purged; the responder then simply
+  /// serves less than it advertised.
+  [[nodiscard]] std::vector<FrontierEntry> frontier() const;
+  /// Deterministic digest over the ragged accepted tail of `origin`
+  /// (accepted seqs at or above its contiguous prefix, folded in
+  /// ascending order); 0 when the tail is empty.
+  [[nodiscard]] std::uint64_t tail_digest(NodeId origin) const;
+  /// Stored entries of `origin` with from_seq <= seq < from_seq + count,
+  /// ascending seq. Pointers are mutable because serving a range touches
+  /// the per-ttl wire cache; they are invalidated by purge/clear.
+  [[nodiscard]] std::vector<Stored*> stored_range(NodeId origin,
+                                                  std::uint32_t from_seq,
+                                                  std::uint32_t count);
+
   /// Records that a gossip about `id` was heard (from any source).
   void mark_gossip_seen(const MessageId& id);
   [[nodiscard]] bool gossip_seen(const MessageId& id) const;

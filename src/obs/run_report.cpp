@@ -106,6 +106,10 @@ void write_metrics(std::ostream& os, const stats::Metrics& m, int indent) {
      << json_double(m.full_delivery_fraction()) << ",\n";
   os << p << "\"duplicate_accepts\": " << m.duplicate_accepts() << ",\n";
   os << p << "\"unknown_accepts\": " << m.unknown_accepts() << ",\n";
+  // On-air catch-up cost (REQUEST/FIND/range-sync packets plus the DATA
+  // retransmissions they trigger) — the E16 recovery-bytes column.
+  os << p << "\"recovery_bytes\": " << m.recovery_bytes() << ",\n";
+  os << p << "\"recovery_packets\": " << m.recovery_packets() << ",\n";
   write_counter_object(os, p, "frames", m.frames_sent(), m.frames_offered(),
                        m.frames_delivered(), m.frames_collided(),
                        m.frames_dropped());

@@ -20,6 +20,12 @@ const char* msg_kind_name(MsgKind kind) {
       return "HELLO";
     case MsgKind::kOther:
       return "OTHER";
+    case MsgKind::kFrontier:
+      return "FRONTIER";
+    case MsgKind::kBulkPull:
+      return "BULK_PULL";
+    case MsgKind::kBulkReply:
+      return "BULK_REPLY";
   }
   return "?";
 }
@@ -49,6 +55,11 @@ void Metrics::on_packet_sent(MsgKind kind, std::size_t bytes) {
   auto i = static_cast<std::size_t>(kind);
   ++packet_count_[i];
   packet_bytes_[i] += bytes;
+}
+
+void Metrics::on_recovery_bytes(std::size_t bytes) {
+  ++recovery_packets_;
+  recovery_bytes_ += bytes;
 }
 
 std::uint64_t Metrics::packets(MsgKind kind) const {
@@ -144,6 +155,8 @@ void Metrics::merge(const Metrics& other) {
   recoveries_returned_ += other.recoveries_returned_;
   recoveries_completed_ += other.recoveries_completed_;
   catchup_latency_.merge(other.catchup_latency_);
+  recovery_bytes_ += other.recovery_bytes_;
+  recovery_packets_ += other.recovery_packets_;
 }
 
 void Metrics::on_node_down(NodeId node, des::SimTime when) {
@@ -222,6 +235,10 @@ std::string snapshot(const Metrics& metrics) {
        metrics.frames_collided(), metrics.frames_dropped());
   for (std::size_t i = 0; i < kMsgKindCount; ++i) {
     auto kind = static_cast<MsgKind>(i);
+    // The legacy kinds always print (their lines are part of the pinned
+    // golden snapshot); sync kinds print only when traffic exists, so a
+    // sync-disabled run snapshots byte-identically to pre-sync builds.
+    if (i >= kLegacyMsgKindCount && metrics.packets(kind) == 0) continue;
     emit("packets %s count=%" PRIu64 " bytes=%" PRIu64 "\n",
          msg_kind_name(kind), metrics.packets(kind),
          metrics.packet_bytes(kind));

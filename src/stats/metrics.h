@@ -27,7 +27,11 @@
 
 namespace byzcast::stats {
 
-/// Protocol packet kinds, matching the paper's message types.
+/// Protocol packet kinds: the paper's message types, then the range-sync
+/// extension (DESIGN.md §11). The sync kinds come *after* kOther so the
+/// first kLegacyMsgKindCount slots keep their historical indices, and
+/// snapshot() prints a sync kind only when its count is nonzero — both of
+/// which keep sync-disabled snapshots byte-identical to pre-sync builds.
 enum class MsgKind : std::uint8_t {
   kData = 0,
   kGossip,
@@ -35,8 +39,12 @@ enum class MsgKind : std::uint8_t {
   kFindMissingMsg,
   kHello,
   kOther,
+  kFrontier,
+  kBulkPull,
+  kBulkReply,
 };
-inline constexpr std::size_t kMsgKindCount = 6;
+inline constexpr std::size_t kLegacyMsgKindCount = 6;
+inline constexpr std::size_t kMsgKindCount = 9;
 const char* msg_kind_name(MsgKind kind);
 
 /// Key for one application broadcast: (originator, sequence number).
@@ -63,6 +71,12 @@ class Metrics {
 
   // --- protocol level (reported by nodes) --------------------------------
   void on_packet_sent(MsgKind kind, std::size_t bytes);
+  /// Radio bytes attributable to recovery rather than first delivery:
+  /// REQUEST_MSG / FIND_MISSING_MSG traffic, DATA retransmissions served
+  /// from the store, and every range-sync packet. This is the bench
+  /// surface for the O(missing) claim; it is deliberately *not* part of
+  /// snapshot(), which pins pre-sync byte-identical output.
+  void on_recovery_bytes(std::size_t bytes);
   /// A correct node called broadcast(). `targets` is how many tracked
   /// nodes should eventually accept (correct nodes minus the originator).
   void on_broadcast(MessageKey key, des::SimTime when, std::size_t targets);
@@ -168,6 +182,13 @@ class Metrics {
   [[nodiscard]] const LatencyRecorder& catchup_latency() const {
     return catchup_latency_;
   }
+  /// Cumulative recovery-attributable radio bytes (on_recovery_bytes).
+  [[nodiscard]] std::uint64_t recovery_bytes() const {
+    return recovery_bytes_;
+  }
+  [[nodiscard]] std::uint64_t recovery_packets() const {
+    return recovery_packets_;
+  }
 
   /// Per-broadcast accepted-node sets (for fine-grained assertions).
   struct BroadcastRecord {
@@ -207,6 +228,8 @@ class Metrics {
   std::uint64_t recoveries_returned_ = 0;
   std::uint64_t recoveries_completed_ = 0;
   LatencyRecorder catchup_latency_;
+  std::uint64_t recovery_bytes_ = 0;
+  std::uint64_t recovery_packets_ = 0;
 };
 
 /// Deterministic plain-text dump of every counter and per-broadcast

@@ -1,0 +1,32 @@
+#include "sync/backoff.h"
+
+namespace byzcast::sync {
+
+des::SimDuration Backoff::delay_for(int attempt, double u) const {
+  // Saturating doubling: base << attempt, clamped to cap before the
+  // multiply can overflow (attempt is small, but a hostile config with a
+  // huge base must not wrap SimDuration).
+  des::SimDuration delay = policy_.base;
+  for (int i = 0; i < attempt && delay < policy_.cap; ++i) {
+    delay = std::min(policy_.cap, delay * 2);
+  }
+  delay = std::min(delay, policy_.cap);
+  if (policy_.jitter > 0 && attempt >= policy_.jitter_from_attempt) {
+    double factor = 1.0 + policy_.jitter * u;
+    if (factor < 0) factor = 0;
+    delay = static_cast<des::SimDuration>(static_cast<double>(delay) * factor);
+  }
+  return std::max<des::SimDuration>(delay, 1);
+}
+
+des::SimDuration Backoff::next_delay(des::Rng& rng) {
+  double u = 0;
+  if (policy_.jitter > 0 && attempts_ >= policy_.jitter_from_attempt) {
+    // Uniform in [-1, 1): one draw, only when this attempt is jittered,
+    // so jitter-free attempts do not perturb the caller's Rng stream.
+    u = 2.0 * rng.next_double() - 1.0;
+  }
+  return delay_for(attempts_++, u);
+}
+
+}  // namespace byzcast::sync

@@ -1,0 +1,75 @@
+// Jittered exponential backoff (DESIGN.md §11).
+//
+// One tested implementation shared by every retry loop in the protocol:
+// the per-message REQUEST_MSG re-request path in ByzcastNode and the
+// range-sync session timers in sync::SyncManager. Retrying at a fixed
+// interval synchronizes colliding requesters into repeated collisions;
+// exponential spacing with jitter decorrelates them and caps the load a
+// persistently-unreachable peer can draw.
+//
+// The delay for attempt k (0-based) is
+//
+//   min(base * 2^k, cap) * (1 + jitter * u),   u ~ Uniform[-1, 1)
+//
+// with u drawn from a caller-supplied Rng so the schedule is part of the
+// deterministic event order (a (ScenarioConfig, seed) pair still fully
+// determines a run). jitter = 0 makes the schedule exact, which is what
+// keeps sync-disabled runs event-identical to pre-backoff builds when the
+// first attempt's delay equals the old fixed interval.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "des/rng.h"
+#include "des/time.h"
+
+namespace byzcast::sync {
+
+struct BackoffPolicy {
+  des::SimDuration base = des::seconds(1);  ///< delay of attempt 0
+  des::SimDuration cap = des::seconds(8);   ///< growth ceiling
+  /// Fractional jitter amplitude in [0, 1): attempt delays are scaled by
+  /// a factor drawn uniformly from [1 - jitter, 1 + jitter).
+  double jitter = 0.25;
+  /// First attempt index the jitter applies to. The REQUEST_MSG retry
+  /// path sets 1 so its first retry keeps the legacy fixed spacing
+  /// (determinism golden hashes) while later repeats decorrelate; sync
+  /// sessions keep 0 so even the first retry of colliding rejoiners is
+  /// spread out.
+  int jitter_from_attempt = 0;
+  /// Attempts after which the caller should give up (retry budget).
+  int max_attempts = 4;
+};
+
+/// Tracks the attempt count for one retried operation and computes the
+/// next delay under a BackoffPolicy. Pure bookkeeping: the caller owns
+/// the timer and the Rng.
+class Backoff {
+ public:
+  Backoff() = default;
+  explicit Backoff(BackoffPolicy policy) : policy_(policy) {}
+
+  /// Delay to wait before the next attempt, advancing the attempt count.
+  /// Draws exactly one Rng value when jitter > 0 (none otherwise), so
+  /// jitter-free schedules do not perturb the caller's Rng stream.
+  [[nodiscard]] des::SimDuration next_delay(des::Rng& rng);
+
+  /// The delay attempt `attempt` would get with jitter factor `u` in
+  /// [-1, 1) — the deterministic core, exposed for tests.
+  [[nodiscard]] des::SimDuration delay_for(int attempt, double u) const;
+
+  [[nodiscard]] int attempts() const { return attempts_; }
+  [[nodiscard]] bool exhausted() const {
+    return attempts_ >= policy_.max_attempts;
+  }
+  void reset() { attempts_ = 0; }
+
+  [[nodiscard]] const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  BackoffPolicy policy_{};
+  int attempts_ = 0;
+};
+
+}  // namespace byzcast::sync

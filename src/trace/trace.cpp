@@ -28,6 +28,16 @@ const char* event_kind_name(EventKind kind) {
       return "overlay-leave";
     case EventKind::kBadSignature:
       return "bad-signature";
+    case EventKind::kSyncOpen:
+      return "sync-open";
+    case EventKind::kSyncPull:
+      return "sync-pull";
+    case EventKind::kSyncAdmit:
+      return "sync-admit";
+    case EventKind::kSyncFailover:
+      return "sync-failover";
+    case EventKind::kSyncDone:
+      return "sync-done";
   }
   return "?";
 }
@@ -106,10 +116,17 @@ void TraceRecorder::write_text(std::ostream& os) const {
         break;
       case EventKind::kSuspect:
       case EventKind::kBadSignature:
+      case EventKind::kSyncOpen:
+      case EventKind::kSyncPull:
+      case EventKind::kSyncFailover:
         os << " peer " << e.peer;
+        break;
+      case EventKind::kSyncAdmit:
+        os << " msg (" << e.origin << ',' << e.seq << ") from peer " << e.peer;
         break;
       case EventKind::kOverlayJoin:
       case EventKind::kOverlayLeave:
+      case EventKind::kSyncDone:
         break;
     }
     os << '\n';

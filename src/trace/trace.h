@@ -34,8 +34,14 @@ enum class EventKind : std::uint8_t {
   kOverlayJoin,      ///< node became active
   kOverlayLeave,     ///< node became passive
   kBadSignature,     ///< node rejected a packet from peer
+  // --- range-sync sessions (DESIGN.md §11) --------------------------------
+  kSyncOpen,      ///< node opened a sync session with peer (a = nonce)
+  kSyncPull,      ///< node sent a BULK_PULL to peer (a = range count)
+  kSyncAdmit,     ///< node admitted (origin, seq) pulled from peer
+  kSyncFailover,  ///< session step timed out / was rejected; a = attempt
+  kSyncDone,      ///< session ended (a = 1 success, 0 gave up)
 };
-inline constexpr std::size_t kEventKindCount = 11;
+inline constexpr std::size_t kEventKindCount = 16;
 
 const char* event_kind_name(EventKind kind);
 

@@ -146,6 +146,37 @@ std::vector<Packet> sample_packets() {
   hello.stability = {{1, 7}, {4, 2}};
   hello.sig = {0xABCD};
   packets.emplace_back(hello);
+
+  FrontierMsg frontier;
+  frontier.from = 3;
+  frontier.target = 8;
+  frontier.response = true;
+  frontier.nonce = 0xDEADBEEF;
+  frontier.entries = {{1, 5, 0x1122334455667788ULL}, {2, 0, 0x99AA}};
+  frontier.sig = {0x5151};
+  packets.emplace_back(frontier);
+
+  BulkPullMsg pull;
+  pull.from = 8;
+  pull.target = 3;
+  pull.nonce = 0xDEADBEEF;
+  pull.ranges = {{1, 2, 3}, {2, 0, 7}};
+  pull.sig = {0x6262};
+  packets.emplace_back(pull);
+
+  BulkReplyMsg reply;
+  reply.from = 3;
+  reply.target = 8;
+  reply.nonce = 0xDEADBEEF;
+  reply.last = false;
+  // Blobs are opaque at the wire layer (the sync session re-parses them);
+  // any non-empty byte strings exercise the framing.
+  const std::vector<std::uint8_t> blob_a{1, 2, 3};
+  const std::vector<std::uint8_t> blob_b{9, 8, 7, 6, 5};
+  reply.messages = {util::Buffer::copy_of(blob_a),
+                    util::Buffer::copy_of(blob_b)};
+  reply.sig = {0x7373};
+  packets.emplace_back(reply);
   return packets;
 }
 
@@ -246,6 +277,135 @@ TEST(Message, ParseRejectsOversizedClaims) {
   std::vector<std::uint8_t> bytes{static_cast<std::uint8_t>(MsgType::kGossip),
                                   0xff, 0xff, 0xff, 0x7f};
   EXPECT_FALSE(parse_packet(bytes).has_value());
+}
+
+// --- range-sync wire types: targeted rejects --------------------------------
+
+TEST(Message, FrontierRejectsEntryCountOverCap) {
+  // Claims kMaxFrontierEntries+1 entries; must be rejected before any
+  // allocation attempt (caps are checked before reserve()).
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kFrontier));
+  w.u32(3);  // from
+  w.u32(8);  // target
+  w.u8(0);   // response
+  w.u32(1);  // nonce
+  w.u32(static_cast<std::uint32_t>(kMaxFrontierEntries + 1));
+  EXPECT_FALSE(parse_packet(w.data()).has_value());
+}
+
+TEST(Message, BulkPullRejectsRangeCountOverCap) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kBulkPull));
+  w.u32(8);  // from
+  w.u32(3);  // target
+  w.u32(1);  // nonce
+  w.u32(static_cast<std::uint32_t>(kMaxPullRanges + 1));
+  EXPECT_FALSE(parse_packet(w.data()).has_value());
+}
+
+TEST(Message, BulkReplyRejectsBatchCountOverCap) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kBulkReply));
+  w.u32(3);  // from
+  w.u32(8);  // target
+  w.u32(1);  // nonce
+  w.u8(1);   // last
+  w.u32(static_cast<std::uint32_t>(kMaxBatchMessages + 1));
+  EXPECT_FALSE(parse_packet(w.data()).has_value());
+}
+
+TEST(Message, BulkReplyRejectsEmptyAndOversizedBlobs) {
+  // A blob is capped at the largest possible DATA packet; empty blobs are
+  // equally meaningless and rejected.
+  const std::size_t data_packet_cap =
+      1 + 8 + 1 + 4 + kMaxPayloadBytes + 2 * crypto::kWireSignatureBytes;
+  for (std::size_t blob_size : {std::size_t{0}, data_packet_cap + 1}) {
+    util::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MsgType::kBulkReply));
+    w.u32(3);  // from
+    w.u32(8);  // target
+    w.u32(1);  // nonce
+    w.u8(1);   // last
+    w.u32(1);  // one blob
+    std::vector<std::uint8_t> blob(blob_size, 0xAB);
+    w.bytes(blob);
+    w.raw(std::vector<std::uint8_t>(crypto::kWireSignatureBytes, 0));
+    EXPECT_FALSE(parse_packet(w.data()).has_value())
+        << "blob_size=" << blob_size;
+  }
+}
+
+TEST(Message, SyncBoolsMustBeCanonical) {
+  // read_bool rejects any byte > 1 — a Byzantine sender cannot smuggle
+  // two wire encodings of the same logical packet past the signature.
+  FrontierMsg frontier;
+  frontier.from = 3;
+  frontier.target = 8;
+  frontier.entries = {{1, 5, 0x11}};
+  util::Buffer wire = serialize(Packet{frontier});
+  std::vector<std::uint8_t> bytes(wire.begin(), wire.end());
+  bytes[1 + 4 + 4] = 2;  // the `response` byte
+  EXPECT_FALSE(parse_packet(bytes).has_value());
+
+  BulkReplyMsg reply;
+  reply.from = 3;
+  reply.target = 8;
+  const std::vector<std::uint8_t> blob{1, 2, 3};
+  reply.messages = {util::Buffer::copy_of(blob)};
+  util::Buffer reply_wire = serialize(Packet{reply});
+  std::vector<std::uint8_t> reply_bytes(reply_wire.begin(), reply_wire.end());
+  reply_bytes[1 + 4 + 4 + 4] = 2;  // the `last` byte
+  EXPECT_FALSE(parse_packet(reply_bytes).has_value());
+}
+
+TEST(Message, SyncSignBytesCoverEveryField) {
+  FrontierMsg frontier;
+  frontier.from = 3;
+  frontier.target = 8;
+  frontier.entries = {{1, 5, 0x11}};
+  auto reference = frontier_sign_bytes(frontier);
+  FrontierMsg changed = frontier;
+  changed.response = true;
+  EXPECT_NE(frontier_sign_bytes(changed), reference);
+  changed = frontier;
+  changed.nonce = 9;
+  EXPECT_NE(frontier_sign_bytes(changed), reference);
+  changed = frontier;
+  changed.entries[0].tail_digest ^= 1;
+  EXPECT_NE(frontier_sign_bytes(changed), reference);
+
+  BulkPullMsg pull;
+  pull.from = 8;
+  pull.target = 3;
+  pull.ranges = {{1, 2, 3}};
+  auto pull_reference = bulk_pull_sign_bytes(pull);
+  BulkPullMsg pull_changed = pull;
+  pull_changed.ranges[0].count = 4;
+  EXPECT_NE(bulk_pull_sign_bytes(pull_changed), pull_reference);
+
+  BulkReplyMsg reply;
+  reply.from = 3;
+  reply.target = 8;
+  const std::vector<std::uint8_t> blob{1, 2, 3};
+  reply.messages = {util::Buffer::copy_of(blob)};
+  auto reply_reference = bulk_reply_sign_bytes(reply);
+  BulkReplyMsg reply_changed = reply;
+  reply_changed.last = false;
+  EXPECT_NE(bulk_reply_sign_bytes(reply_changed), reply_reference);
+  reply_changed = reply;
+  const std::vector<std::uint8_t> other_blob{1, 2, 4};
+  reply_changed.messages = {util::Buffer::copy_of(other_blob)};
+  EXPECT_NE(bulk_reply_sign_bytes(reply_changed), reply_reference);
+}
+
+TEST(Message, SyncKindMapping) {
+  EXPECT_EQ(to_msg_kind(MsgType::kFrontier), stats::MsgKind::kFrontier);
+  EXPECT_EQ(to_msg_kind(MsgType::kBulkPull), stats::MsgKind::kBulkPull);
+  EXPECT_EQ(to_msg_kind(MsgType::kBulkReply), stats::MsgKind::kBulkReply);
+  EXPECT_EQ(packet_type(Packet{FrontierMsg{}}), MsgType::kFrontier);
+  EXPECT_EQ(packet_type(Packet{BulkPullMsg{}}), MsgType::kBulkPull);
+  EXPECT_EQ(packet_type(Packet{BulkReplyMsg{}}), MsgType::kBulkReply);
 }
 
 TEST(Message, ParseSurvivesRandomFuzz) {
