@@ -181,71 +181,4 @@ inline void emit(const sim::SweepResult& result,
   }
 }
 
-// --- deprecated shim (one PR of grace for out-of-tree scripts) --------------
-
-struct [[deprecated("use sim::SweepSpec + sim::SweepRunner; mean/stddev/ci95 "
-                    "come from SweepPoint::summarize")]] Averaged {
-  double delivery = 0;
-  double latency_mean_ms = 0;
-  double latency_p99_ms = 0;
-  double latency_max_s = 0;  ///< max over all runs, not averaged
-  double data_packets_per_bcast = 0;
-  double total_packets_per_bcast = 0;
-  double bytes_per_bcast = 0;
-  double collisions = 0;
-  int runs = 0;
-};
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-/// Serial predecessor of the sweep engine, kept source-compatible for one
-/// PR. New code should declare a SweepSpec instead: the engine runs
-/// replicas in parallel and owns the resampling rule this loop hand-rolls.
-[[deprecated("use sim::SweepSpec + sim::SweepRunner")]]
-inline Averaged run_averaged(
-    const std::function<sim::ScenarioConfig(std::uint64_t)>& make_config,
-    int repetitions, std::uint64_t seed_base = 1000) {
-  Averaged avg;
-  std::uint64_t seed = seed_base;
-  int attempts = 0;
-  while (avg.runs < repetitions && attempts < repetitions + 50) {
-    ++attempts;
-    sim::ScenarioConfig config = make_config(seed++);
-    std::unique_ptr<sim::Network> network;
-    try {
-      network = std::make_unique<sim::Network>(config);
-    } catch (const std::runtime_error&) {
-      continue;  // e.g. this placement cannot supply k disjoint backbones
-    }
-    if (!network->correct_graph_connected()) continue;
-    sim::RunResult result = sim::run_workload(*network);
-    const stats::Metrics& m = result.metrics;
-    double bcasts = static_cast<double>(config.num_broadcasts);
-    avg.delivery += m.delivery_ratio();
-    avg.latency_mean_ms += 1e3 * m.latency().mean();
-    avg.latency_p99_ms += 1e3 * m.latency().percentile(0.99);
-    avg.latency_max_s = std::max(avg.latency_max_s, m.latency().max());
-    avg.data_packets_per_bcast +=
-        static_cast<double>(m.packets(stats::MsgKind::kData)) / bcasts;
-    avg.total_packets_per_bcast +=
-        static_cast<double>(m.total_packets()) / bcasts;
-    avg.bytes_per_bcast +=
-        static_cast<double>(m.total_packet_bytes()) / bcasts;
-    avg.collisions += static_cast<double>(m.frames_collided());
-    ++avg.runs;
-  }
-  if (avg.runs > 0) {
-    double r = avg.runs;
-    avg.delivery /= r;
-    avg.latency_mean_ms /= r;
-    avg.latency_p99_ms /= r;
-    avg.data_packets_per_bcast /= r;
-    avg.total_packets_per_bcast /= r;
-    avg.bytes_per_bcast /= r;
-    avg.collisions /= r;
-  }
-  return avg;
-}
-#pragma GCC diagnostic pop
-
 }  // namespace byzcast::bench

@@ -4,7 +4,14 @@
 // of Byzantine devices — selfish mute nodes saving battery, one payload
 // tamperer, one spammer. Three organizers broadcast emergency alerts.
 //
+// Scales to city size with --nodes: the field grows as sqrt(nodes/80) so
+// device density stays at campus levels, and above 2000 devices placement
+// switches to a grid (a uniform draw at constant density stops being
+// connected once n outruns the ln-n connectivity threshold).
+//
 //   ./build/examples/campus_broadcast [--seed=2026] [--alerts=30]
+//   ./build/examples/campus_broadcast --nodes=100000 --alerts=3
+#include <cmath>
 #include <cstdio>
 
 #include "sim/runner.h"
@@ -16,8 +23,12 @@ int main(int argc, char** argv) {
 
   sim::ScenarioConfig config;
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
-  config.n = static_cast<std::size_t>(args.get_int("n", 80));
-  config.area = {700, 700};
+  config.n = static_cast<std::size_t>(
+      args.get_int("nodes", args.get_int("n", 80)));
+  const double side =
+      700 * std::sqrt(static_cast<double>(config.n) / 80.0);
+  config.area = {side, side};
+  if (config.n > 2000) config.placement = sim::PlacementKind::kGrid;
   config.tx_range = 130;
   config.realistic_radio = true;
   config.mobility = sim::MobilityKind::kRandomWaypoint;

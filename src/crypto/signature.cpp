@@ -1,5 +1,6 @@
 #include "crypto/signature.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/profiler.h"
@@ -22,7 +23,19 @@ Signature read_wire_signature(util::ByteReader& r) {
 std::uint64_t Pki::tag_for(NodeId id, SipKey key,
                            std::span<const std::uint8_t> data) {
   // Domain-separate by signer id so a tag from node A is never valid for
-  // node B even if (impossibly) their keys collided.
+  // node B even if (impossibly) their keys collided. The concatenation
+  // buffer is stack-allocated for every packet-sized input; sign/verify
+  // run once per frame per receiver, and a heap allocation here showed
+  // up in kernel-scale profiles.
+  constexpr std::size_t kStackData = 2048;
+  if (data.size() <= kStackData) {
+    std::uint8_t buf[4 + kStackData];
+    for (int i = 0; i < 4; ++i) {
+      buf[i] = static_cast<std::uint8_t>(id >> (8 * i));
+    }
+    std::copy(data.begin(), data.end(), buf + 4);
+    return siphash24(key, {buf, 4 + data.size()});
+  }
   std::vector<std::uint8_t> buf;
   buf.reserve(4 + data.size());
   for (int i = 0; i < 4; ++i) {
@@ -38,25 +51,23 @@ Signature Signer::sign(std::span<const std::uint8_t> data) const {
 }
 
 Signer Pki::register_node(NodeId id) {
-  for (const auto& [existing, key] : keys_) {
-    if (existing == id) {
-      throw std::invalid_argument("Pki::register_node: id already registered");
-    }
+  if (id < keys_.size() && keys_[id].issued) {
+    throw std::invalid_argument("Pki::register_node: id already registered");
   }
+  if (id >= keys_.size()) keys_.resize(id + 1);
   SipKey key{rng_.next_u64(), rng_.next_u64()};
-  keys_.emplace_back(id, key);
+  keys_[id] = {true, key};
+  ++registered_;
   return Signer(id, key);
 }
 
 bool Pki::verify(NodeId claimed_signer, std::span<const std::uint8_t> data,
                  Signature sig) const {
   BYZCAST_PROFILE(obs::ProfileCategory::kSignatureVerify);
-  for (const auto& [id, key] : keys_) {
-    if (id == claimed_signer) {
-      return tag_for(id, key, data) == sig.tag;
-    }
+  if (claimed_signer >= keys_.size() || !keys_[claimed_signer].issued) {
+    return false;
   }
-  return false;
+  return tag_for(claimed_signer, keys_[claimed_signer].key, data) == sig.tag;
 }
 
 }  // namespace byzcast::crypto

@@ -74,7 +74,7 @@ class Pki {
                             std::span<const std::uint8_t> data,
                             Signature sig) const;
 
-  [[nodiscard]] std::size_t registered_count() const { return keys_.size(); }
+  [[nodiscard]] std::size_t registered_count() const { return registered_; }
 
  private:
   friend class Signer;  // sign() and verify() share tag_for
@@ -82,7 +82,14 @@ class Pki {
                                              std::span<const std::uint8_t> data);
 
   des::Rng rng_;
-  std::vector<std::pair<NodeId, SipKey>> keys_;  // small n: linear scan is fine
+  /// Dense by NodeId (ids are issued 0..n-1 and joiners append), so
+  /// verify is O(1) — at 100k nodes a linear scan here dominated runs.
+  struct Entry {
+    bool issued = false;
+    SipKey key{};
+  };
+  std::vector<Entry> keys_;
+  std::size_t registered_ = 0;
 };
 
 }  // namespace byzcast::crypto

@@ -18,7 +18,9 @@ namespace byzcast::des {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed) : root_rng_(seed) {}
+  explicit Simulator(std::uint64_t seed,
+                     EventQueue::Backend backend = EventQueue::Backend::kHybrid)
+      : queue_(backend), root_rng_(seed) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;

@@ -55,27 +55,46 @@ void GridIndex::update(std::size_t item, Vec2 new_position) {
   item_cell_[item] = new_cell;
 }
 
+GridIndex::CellSpan GridIndex::span_of(Vec2 center, double radius) const {
+  // Cell span that can contain points within `radius` of center. The
+  // clamp happens in double space: casting a negative or huge double to
+  // size_t is undefined behaviour, so compare before converting (this
+  // also sends NaN to cell 0 instead of an arbitrary index).
+  auto clamp_idx = [](double v, std::size_t hi) {
+    if (!(v >= 0)) return std::size_t{0};
+    if (v >= static_cast<double>(hi)) return hi;
+    return static_cast<std::size_t>(v);
+  };
+  return CellSpan{clamp_idx((center.x - radius) / cell_size_, cols_ - 1),
+                  clamp_idx((center.x + radius) / cell_size_, cols_ - 1),
+                  clamp_idx((center.y - radius) / cell_size_, rows_ - 1),
+                  clamp_idx((center.y + radius) / cell_size_, rows_ - 1)};
+}
+
 void GridIndex::query(Vec2 center, double radius,
                       std::vector<std::size_t>& out) const {
   out.clear();
   const double r_sq = radius * radius;
-  // Cell span that can contain points within `radius` of center.
-  auto clamp_idx = [](double v, std::size_t hi) {
-    if (v < 0) return std::size_t{0};
-    auto idx = static_cast<std::size_t>(v);
-    return std::min(idx, hi);
-  };
-  std::size_t cx_lo = clamp_idx((center.x - radius) / cell_size_, cols_ - 1);
-  std::size_t cx_hi = clamp_idx((center.x + radius) / cell_size_, cols_ - 1);
-  std::size_t cy_lo = clamp_idx((center.y - radius) / cell_size_, rows_ - 1);
-  std::size_t cy_hi = clamp_idx((center.y + radius) / cell_size_, rows_ - 1);
-  for (std::size_t cy = cy_lo; cy <= cy_hi; ++cy) {
-    for (std::size_t cx = cx_lo; cx <= cx_hi; ++cx) {
+  const CellSpan s = span_of(center, radius);
+  for (std::size_t cy = s.cy_lo; cy <= s.cy_hi; ++cy) {
+    for (std::size_t cx = s.cx_lo; cx <= s.cx_hi; ++cx) {
       for (std::size_t item : cells_[cy * cols_ + cx]) {
         if (distance_sq(positions_[item], center) <= r_sq) {
           out.push_back(item);
         }
       }
+    }
+  }
+}
+
+void GridIndex::query_cells(Vec2 center, double radius,
+                            std::vector<std::size_t>& out) const {
+  out.clear();
+  const CellSpan s = span_of(center, radius);
+  for (std::size_t cy = s.cy_lo; cy <= s.cy_hi; ++cy) {
+    for (std::size_t cx = s.cx_lo; cx <= s.cx_hi; ++cx) {
+      const auto& cell = cells_[cy * cols_ + cx];
+      out.insert(out.end(), cell.begin(), cell.end());
     }
   }
 }

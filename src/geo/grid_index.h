@@ -30,13 +30,25 @@ class GridIndex {
   /// including an item located exactly at `center`. `out` is cleared.
   void query(Vec2 center, double radius, std::vector<std::size_t>& out) const;
 
+  /// Appends to `out` every item stored in a cell that overlaps the
+  /// axis-aligned square circumscribing the disk (`center`, `radius`) —
+  /// a cheap superset of query() with no per-item distance filter, for
+  /// callers that re-check candidates against fresher positions anyway.
+  /// `out` is cleared.
+  void query_cells(Vec2 center, double radius,
+                   std::vector<std::size_t>& out) const;
+
   [[nodiscard]] std::size_t size() const { return positions_.size(); }
   [[nodiscard]] Vec2 position(std::size_t item) const {
     return positions_[item];
   }
 
  private:
+  struct CellSpan {
+    std::size_t cx_lo, cx_hi, cy_lo, cy_hi;
+  };
   [[nodiscard]] std::size_t cell_of(Vec2 p) const;
+  [[nodiscard]] CellSpan span_of(Vec2 center, double radius) const;
 
   Area area_;
   double cell_size_;

@@ -1,7 +1,11 @@
 #include "geo/placement.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "geo/grid_index.h"
 
 namespace byzcast::geo {
 
@@ -94,16 +98,62 @@ std::vector<Vec2> ring_placement(std::size_t n, Area area, double radius) {
   return points;
 }
 
+namespace {
+
+/// Below this the O(n^2) pair scan beats building a grid.
+constexpr std::size_t kGridCutoff = 256;
+
+}  // namespace
+
 std::vector<std::vector<std::size_t>> unit_disk_adjacency(
     const std::vector<Vec2>& points, double range) {
-  std::vector<std::vector<std::size_t>> adj(points.size());
+  const std::size_t n = points.size();
+  std::vector<std::vector<std::size_t>> adj(n);
   const double r_sq = range * range;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    for (std::size_t j = i + 1; j < points.size(); ++j) {
-      if (distance_sq(points[i], points[j]) <= r_sq) {
-        adj[i].push_back(j);
-        adj[j].push_back(i);
+  if (n <= kGridCutoff || range <= 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (distance_sq(points[i], points[j]) <= r_sq) {
+          adj[i].push_back(j);
+          adj[j].push_back(i);
+        }
       }
+    }
+    return adj;
+  }
+
+  // Cell walk: O(n * density) instead of O(n^2). Distances are evaluated
+  // on the original coordinates (the grid clamps nothing when the area
+  // covers every point), so each pair passes exactly the same `<= r_sq`
+  // test as the scan above; a shift is applied only when some point has
+  // a negative coordinate, which no in-repo placement produces.
+  double min_x = 0, min_y = 0;
+  double max_x = range, max_y = range;
+  for (const Vec2& p : points) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  std::vector<Vec2> shifted;
+  const bool shift = min_x < 0 || min_y < 0;
+  if (shift) {
+    shifted.reserve(n);
+    for (const Vec2& p : points) shifted.push_back({p.x - min_x, p.y - min_y});
+  }
+  const std::vector<Vec2>& grid_points = shift ? shifted : points;
+  // The area must cover every stored coordinate — rebuild() clamps into
+  // it, and a clamped point would be filtered against the wrong position.
+  GridIndex index({shift ? max_x - min_x : max_x, shift ? max_y - min_y : max_y},
+                  range);
+  index.rebuild(grid_points);
+  std::vector<std::size_t> hits;
+  for (std::size_t i = 0; i < n; ++i) {
+    index.query(grid_points[i], range, hits);
+    std::sort(hits.begin(), hits.end());
+    adj[i].reserve(hits.size() - 1);
+    for (std::size_t j : hits) {
+      if (j != i) adj[i].push_back(j);
     }
   }
   return adj;

@@ -9,6 +9,17 @@
 
 namespace byzcast::radio {
 
+namespace {
+
+/// How far a node can drift from its grid-indexed position before the
+/// grid is refreshed. Queries widen their radius by this much, so the
+/// cell walk still yields a guaranteed superset of the true in-range set.
+double stale_margin(const MediumConfig& config) {
+  return config.max_speed_mps * des::to_seconds(config.grid_refresh) + 1e-9;
+}
+
+}  // namespace
+
 Medium::Medium(des::Simulator& sim,
                std::unique_ptr<PropagationModel> propagation,
                MediumConfig config, stats::Metrics* metrics)
@@ -38,6 +49,9 @@ void Medium::register_radio(Radio& radio) {
     throw std::invalid_argument("Medium: node id registered twice");
   }
   radios_[id] = &radio;
+  max_reach_ = std::max(max_reach_, propagation_->max_range(radio.range()));
+  // grid_items_ no longer matches radios_.size(), so the next spatial
+  // query rebuilds the grid with the newcomer included.
 }
 
 des::SimDuration Medium::airtime(std::size_t wire_bytes) const {
@@ -52,22 +66,92 @@ geo::Vec2 Medium::position_of(NodeId id) const {
   return radios_[id]->position_at(sim_.now());
 }
 
+bool Medium::sharding_active() const {
+  return config_.sharded && config_.world.width > 0 &&
+         config_.world.height > 0 && config_.max_speed_mps >= 0;
+}
+
+void Medium::refresh_grid(des::SimTime now) const {
+  if (grid_.has_value() && grid_items_ == radios_.size() &&
+      now - grid_time_ < config_.grid_refresh) {
+    return;
+  }
+  const double cell = std::max(1.0, max_reach_ + stale_margin(config_));
+  grid_.emplace(config_.world, cell);
+  std::vector<geo::Vec2> positions(radios_.size(), geo::Vec2{0, 0});
+  strays_.clear();
+  for (NodeId id = 0; id < radios_.size(); ++id) {
+    if (radios_[id] == nullptr) continue;
+    positions[id] = radios_[id]->position_at(now);
+    // Mobility scripts may take a node outside the configured world; the
+    // grid clamps its position, losing the distance bound, so strays are
+    // kept on a side list that every query scans unconditionally.
+    if (!config_.world.contains(positions[id])) strays_.push_back(id);
+  }
+  grid_->rebuild(positions);
+  grid_time_ = now;
+  grid_items_ = radios_.size();
+}
+
+void Medium::gather_candidates(geo::Vec2 center, double radius,
+                               std::vector<NodeId>& out) const {
+  refresh_grid(sim_.now());
+  grid_->query_cells(center, radius + stale_margin(config_), cell_scratch_);
+  out.clear();
+  out.reserve(cell_scratch_.size() + strays_.size());
+  for (std::size_t item : cell_scratch_) {
+    out.push_back(static_cast<NodeId>(item));
+  }
+  // Strays are also present in the grid (at clamped positions), so the
+  // merged list may repeat them; sort + unique restores the ascending
+  // NodeId order the fan-out contract requires.
+  out.insert(out.end(), strays_.begin(), strays_.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
 std::vector<NodeId> Medium::neighbors_of(NodeId id, double range) const {
   geo::Vec2 center = position_of(id);
   std::vector<NodeId> out;
-  for (NodeId other = 0; other < radios_.size(); ++other) {
-    if (other == id || radios_[other] == nullptr) continue;
+  auto consider = [&](NodeId other) {
+    if (other == id || radios_[other] == nullptr) return;
     if (geo::distance(center, radios_[other]->position_at(sim_.now())) <=
         range) {
       out.push_back(other);
     }
+  };
+  if (sharding_active()) {
+    gather_candidates(center, range, candidate_scratch_);
+    for (NodeId other : candidate_scratch_) consider(other);
+  } else {
+    for (NodeId other = 0; other < radios_.size(); ++other) consider(other);
   }
   return out;
 }
 
+std::uint32_t Medium::alloc_reception(des::SimTime start, des::SimTime end) {
+  std::uint32_t idx;
+  if (!free_receptions_.empty()) {
+    idx = free_receptions_.back();
+    free_receptions_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(reception_pool_.size());
+    reception_pool_.emplace_back();
+  }
+  reception_pool_[idx] = Reception{start, end, /*corrupted=*/false, /*refs=*/2};
+  return idx;
+}
+
+void Medium::release_reception(std::uint32_t idx) {
+  if (--reception_pool_[idx].refs == 0) free_receptions_.push_back(idx);
+}
+
 void Medium::prune(NodeId id, des::SimTime now) {
   auto& rx = receptions_[id];
-  while (!rx.empty() && rx.front()->end < now) rx.pop_front();
+  while (!rx.empty() && reception_pool_[rx.front()].end < now) {
+    release_reception(rx.front());
+    rx.pop_front();
+  }
   auto& tx = tx_intervals_[id];
   while (!tx.empty() && tx.front().end < now) tx.pop_front();
 }
@@ -105,22 +189,33 @@ void Medium::transmit(NodeId sender, util::Buffer payload) {
     // stations; hidden terminals still collide). Loop until a slot fits.
     const des::SimDuration air = airtime(wire);
     geo::Vec2 my_pos = radios_[sender]->position_at(sim_.now());
+    auto sense = [&](NodeId other, bool& moved) {
+      if (other == sender || radios_[other] == nullptr) return;
+      double reach = propagation_->max_range(radios_[other]->range());
+      if (geo::distance(my_pos,
+                        radios_[other]->position_at(sim_.now())) > reach) {
+        return;
+      }
+      prune(other, sim_.now());
+      for (const Interval& tx : tx_intervals_[other]) {
+        if (tx.start < t_start + air && t_start < tx.end) {
+          t_start = tx.end + config_.carrier_sense_gap;
+          moved = true;
+        }
+      }
+    };
+    const bool sharded = sharding_active();
+    // Widest radius any *other* node could hear us across, so the cell
+    // walk covers every station whose queued frames we must defer to.
+    if (sharded) gather_candidates(my_pos, max_reach_, candidate_scratch_);
     bool moved = true;
     while (moved) {
       moved = false;
-      for (NodeId other = 0; other < radios_.size(); ++other) {
-        if (other == sender || radios_[other] == nullptr) continue;
-        double reach = propagation_->max_range(radios_[other]->range());
-        if (geo::distance(my_pos,
-                          radios_[other]->position_at(sim_.now())) > reach) {
-          continue;
-        }
-        prune(other, sim_.now());
-        for (const Interval& tx : tx_intervals_[other]) {
-          if (tx.start < t_start + air && t_start < tx.end) {
-            t_start = tx.end + config_.carrier_sense_gap;
-            moved = true;
-          }
+      if (sharded) {
+        for (NodeId other : candidate_scratch_) sense(other, moved);
+      } else {
+        for (NodeId other = 0; other < radios_.size(); ++other) {
+          sense(other, moved);
         }
       }
     }
@@ -147,14 +242,19 @@ void Medium::begin_transmission(Frame frame, des::SimTime t_start,
   const double nominal = tx_radio->range();
   const double reach = propagation_->max_range(nominal);
 
-  for (NodeId rx = 0; rx < radios_.size(); ++rx) {
-    if (rx == sender || radios_[rx] == nullptr || !attached_[rx]) continue;
+  // The per-receiver body below must run in ascending NodeId order over
+  // exactly the in-range receivers: every RNG draw's position in the
+  // stream depends on it, and the golden determinism hashes pin that
+  // stream. The sharded path feeds it a sorted candidate superset and
+  // relies on the same `dist > reach` test to discard the extras.
+  auto offer = [&](NodeId rx) {
+    if (rx == sender || radios_[rx] == nullptr || !attached_[rx]) return;
     geo::Vec2 rx_pos = radios_[rx]->position_at(t_start);
     if (wall_x_ && (tx_pos.x < *wall_x_) != (rx_pos.x < *wall_x_)) {
-      continue;  // area split: the wall blocks this link
+      return;  // area split: the wall blocks this link
     }
     double dist = geo::distance(tx_pos, rx_pos);
-    if (dist > reach) continue;
+    if (dist > reach) return;
     // `rx` is a live in-range candidate: from here on, exactly one of
     // the dropped / collided / delivered outcomes fires for it, so
     // offered == dropped + collided + delivered (counts and bytes) — the
@@ -164,28 +264,24 @@ void Medium::begin_transmission(Frame frame, des::SimTime t_start,
     if (!propagation_->delivered(dist, nominal, rng_) ||
         rng_.chance(config_.base_loss_prob)) {
       if (metrics_ != nullptr) metrics_->on_frame_dropped(wire);
-      continue;
+      return;
     }
     prune(rx, t_start);
     // Half-duplex: receiver busy transmitting during any part of the
     // frame loses it.
-    bool rx_transmitting = false;
     for (const Interval& tx : tx_intervals_[rx]) {
       if (tx.start < t_end && t_start < tx.end) {
-        rx_transmitting = true;
-        break;
+        if (metrics_ != nullptr) metrics_->on_frame_dropped(wire);
+        return;
       }
     }
-    if (rx_transmitting) {
-      if (metrics_ != nullptr) metrics_->on_frame_dropped(wire);
-      continue;
-    }
-    auto reception = std::make_shared<Reception>(Reception{t_start, t_end});
+    const std::uint32_t reception = alloc_reception(t_start, t_end);
     if (config_.collisions_enabled) {
-      for (const auto& other : receptions_[rx]) {
-        if (other->start < t_end && t_start < other->end) {
-          other->corrupted = true;
-          reception->corrupted = true;
+      for (std::uint32_t other_idx : receptions_[rx]) {
+        Reception& other = reception_pool_[other_idx];
+        if (other.start < t_end && t_start < other.end) {
+          other.corrupted = true;
+          reception_pool_[reception].corrupted = true;
         }
       }
     }
@@ -195,7 +291,9 @@ void Medium::begin_transmission(Frame frame, des::SimTime t_start,
     sim_.schedule_at(
         t_end + config_.latency, [this, rx, reception, frame]() {
           // Each corrupted reception is counted exactly once, here.
-          if (reception->corrupted) {
+          const bool corrupted = reception_pool_[reception].corrupted;
+          release_reception(reception);
+          if (corrupted) {
             if (metrics_ != nullptr) metrics_->on_frame_collided(frame.wire_size());
             return;
           }
@@ -208,6 +306,13 @@ void Medium::begin_transmission(Frame frame, des::SimTime t_start,
           }
           radios_[rx]->deliver(frame);
         });
+  };
+
+  if (sharding_active()) {
+    gather_candidates(tx_pos, reach, candidate_scratch_);
+    for (NodeId rx : candidate_scratch_) offer(rx);
+  } else {
+    for (NodeId rx = 0; rx < radios_.size(); ++rx) offer(rx);
   }
 }
 

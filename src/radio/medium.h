@@ -27,6 +27,7 @@
 
 #include "des/rng.h"
 #include "des/simulator.h"
+#include "geo/grid_index.h"
 #include "geo/vec2.h"
 #include "radio/packet.h"
 #include "radio/propagation.h"
@@ -53,6 +54,22 @@ struct MediumConfig {
   bool carrier_sense = false;
   /// Gap left after a sensed-busy channel before transmitting (DIFS-ish).
   des::SimDuration carrier_sense_gap = des::micros(50);
+
+  // --- spatial sharding ------------------------------------------------------
+  // A transmission's fan-out only walks radios bucketed in the grid cells
+  // around the sender instead of every radio, turning per-transmission
+  // cost from O(n) into O(local density). Behaviour-identical: candidates
+  // are gathered as a superset (grid positions may be up to one
+  // grid_refresh stale, covered by a max_speed_mps * refresh margin on
+  // the query radius), sorted by NodeId, then passed through exactly the
+  // original in-range filter, so the RNG draw sequence is unchanged.
+  // Sharding needs `world` bounds and a mobility speed bound; with the
+  // defaults below (unknown world/speed) the medium falls back to the
+  // full scan, which keeps hand-built test fixtures exact.
+  bool sharded = true;
+  geo::Area world{0, 0};      ///< world bounds; non-positive = unknown
+  double max_speed_mps = -1;  ///< mobility speed bound; negative = unknown
+  des::SimDuration grid_refresh = des::seconds(1);  ///< grid staleness bound
 };
 
 class Medium {
@@ -97,10 +114,14 @@ class Medium {
   [[nodiscard]] const MediumConfig& config() const { return config_; }
 
  private:
+  /// In-flight reception, pool-allocated (see reception_pool_). Alive
+  /// while referenced by the receiver's overlap window and the pending
+  /// delivery event; the slot is recycled when both release it.
   struct Reception {
     des::SimTime start = 0;
     des::SimTime end = 0;
     bool corrupted = false;
+    std::uint8_t refs = 0;
   };
   struct Interval {
     des::SimTime start = 0;
@@ -111,6 +132,21 @@ class Medium {
                           des::SimTime t_end);
   [[nodiscard]] des::SimDuration airtime(std::size_t wire_bytes) const;
   void prune(NodeId id, des::SimTime now);
+
+  std::uint32_t alloc_reception(des::SimTime start, des::SimTime end);
+  void release_reception(std::uint32_t idx);
+
+  /// True when the spatial grid is configured and usable.
+  [[nodiscard]] bool sharding_active() const;
+  /// Rebuilds the grid from current positions when stale (lazy — called
+  /// from the accessors, never scheduled, so the event order is
+  /// untouched).
+  void refresh_grid(des::SimTime now) const;
+  /// Fills `out` with a sorted-ascending superset of every node within
+  /// `radius` of `center` (grid cells + out-of-world strays). The caller
+  /// applies the exact distance filter.
+  void gather_candidates(geo::Vec2 center, double radius,
+                         std::vector<NodeId>& out) const;
 
   des::Simulator& sim_;
   std::unique_ptr<PropagationModel> propagation_;
@@ -123,7 +159,22 @@ class Medium {
   std::optional<double> wall_x_;
   std::vector<des::SimTime> tx_busy_until_;
   std::vector<std::deque<Interval>> tx_intervals_;
-  std::vector<std::deque<std::shared_ptr<Reception>>> receptions_;
+
+  // Reception pool: receptions_[rx] holds indices into reception_pool_,
+  // so the collision hot path allocates nothing once the pool warms up.
+  std::vector<Reception> reception_pool_;
+  std::vector<std::uint32_t> free_receptions_;
+  std::vector<std::deque<std::uint32_t>> receptions_;
+
+  // Spatial shard state. Mutable: the grid is a lazily-maintained cache
+  // over mobility positions, refreshed from const accessors too.
+  double max_reach_ = 0;  ///< max propagation reach over registered radios
+  mutable std::optional<geo::GridIndex> grid_;
+  mutable des::SimTime grid_time_ = 0;
+  mutable std::size_t grid_items_ = 0;
+  mutable std::vector<NodeId> strays_;  ///< outside `world` at last refresh
+  mutable std::vector<std::size_t> cell_scratch_;
+  mutable std::vector<NodeId> candidate_scratch_;
 };
 
 }  // namespace byzcast::radio

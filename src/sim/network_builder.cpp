@@ -56,7 +56,10 @@ std::vector<geo::Vec2> make_placement(const ScenarioConfig& config,
 }  // namespace
 
 Network::Network(const ScenarioConfig& config)
-    : config_(config), sim_(config.seed) {
+    : config_(config),
+      sim_(config.seed, config.legacy_kernel
+                            ? des::EventQueue::Backend::kHeapOnly
+                            : des::EventQueue::Backend::kHybrid) {
   const std::size_t n = config.n;
   if (n == 0) throw std::invalid_argument("Network: n must be > 0");
   if (config.byzantine_count() >= n) {
@@ -111,8 +114,29 @@ Network::Network(const ScenarioConfig& config)
   } else {
     propagation = std::make_unique<radio::UnitDisk>();
   }
+  // Fill in the spatial-sharding hints the scenario knows but a bare
+  // MediumConfig does not: the world bounds and how fast anything moves.
+  // Explicit user-set values win; legacy_kernel forces the full scan.
+  radio::MediumConfig medium_config = config.medium;
+  if (medium_config.world.width <= 0 || medium_config.world.height <= 0) {
+    medium_config.world = world;
+  }
+  if (medium_config.max_speed_mps < 0) {
+    switch (config.mobility) {
+      case MobilityKind::kStatic:
+        medium_config.max_speed_mps = 0;
+        break;
+      case MobilityKind::kRandomWaypoint:
+        medium_config.max_speed_mps = config.max_speed_mps;
+        break;
+      case MobilityKind::kRandomWalk:
+        medium_config.max_speed_mps = std::max(config.max_speed_mps, 0.1);
+        break;
+    }
+  }
+  if (config.legacy_kernel) medium_config.sharded = false;
   medium_ = std::make_unique<radio::Medium>(sim_, std::move(propagation),
-                                            config.medium, &metrics_);
+                                            medium_config, &metrics_);
   radios_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     radios_.push_back(std::make_unique<radio::Radio>(
@@ -150,8 +174,9 @@ Network::Network(const ScenarioConfig& config)
   senders_.assign(correct_.begin(),
                   correct_.begin() + static_cast<std::ptrdiff_t>(sender_count));
 
-  alive_.assign(n, true);
-  departed_.assign(n, false);
+  hot_.alive.assign(n, true);
+  hot_.departed.assign(n, false);
+  hot_.ranges.assign(n, config.tx_range);
 
   // --- nodes ---------------------------------------------------------------------
   const std::size_t targets = correct_.size() - 1;
@@ -259,7 +284,7 @@ void Network::broadcast_from(NodeId node, std::vector<std::uint8_t> payload) {
     throw std::invalid_argument(
         "broadcast_from: workload broadcasts must come from correct nodes");
   }
-  if (!alive_.at(node)) return;  // sender is down: the broadcast never happens
+  if (!hot_.alive.test(node)) return;  // sender is down: nothing happens
   switch (config_.protocol) {
     case ProtocolKind::kByzcast:
       byzcast_nodes_[node]->broadcast(std::move(payload));
@@ -274,8 +299,8 @@ void Network::broadcast_from(NodeId node, std::vector<std::uint8_t> payload) {
 }
 
 void Network::crash_node(NodeId node) {
-  if (!alive_.at(node)) return;
-  alive_[node] = false;
+  if (!hot_.alive.test(node)) return;
+  hot_.alive.set(node, false);
   if (node < byzcast_nodes_.size() && byzcast_nodes_[node]) {
     byzcast_nodes_[node]->stop();
   }
@@ -284,8 +309,8 @@ void Network::crash_node(NodeId node) {
 }
 
 void Network::recover_node(NodeId node) {
-  if (alive_.at(node) || departed_.at(node)) return;
-  alive_[node] = true;
+  if (hot_.alive.test(node) || hot_.departed.test(node)) return;
+  hot_.alive.set(node, true);
   medium_->set_attached(node, true);
   if (node < byzcast_nodes_.size() && byzcast_nodes_[node]) {
     byzcast_nodes_[node]->restart();
@@ -298,7 +323,7 @@ void Network::set_radio_attached(NodeId node, bool attached) {
   medium_->set_attached(node, attached);
   // A crashed node's downtime is already being accounted; only report
   // outages of otherwise-live nodes.
-  if (!alive_.at(node)) return;
+  if (!hot_.alive.test(node)) return;
   if (attached) {
     metrics_.on_node_up(node, sim_.now());
   } else {
@@ -321,8 +346,9 @@ NodeId Network::join_node(geo::Vec2 position) {
   radios_.push_back(std::make_unique<radio::Radio>(
       *medium_, id, *mobility_.back(), config_.tx_range));
   kinds_.push_back(byz::AdversaryKind::kNone);
-  alive_.push_back(true);
-  departed_.push_back(false);
+  hot_.alive.push_back(true);
+  hot_.departed.push_back(false);
+  hot_.ranges.push_back(config_.tx_range);
   crypto::Signer signer = pki_->register_node(id);
   byzcast_nodes_.push_back(byz::make_adversary(
       byz::AdversaryKind::kNone, sim_, *radios_.back(), *pki_, signer,
@@ -336,13 +362,14 @@ NodeId Network::join_node(geo::Vec2 position) {
 }
 
 void Network::leave_node(NodeId node) {
-  if (departed_.at(node)) return;
-  departed_[node] = true;
+  if (hot_.departed.test(node)) return;
+  hot_.departed.set(node, true);
   crash_node(node);  // same mechanics, but recover_node now refuses it
 }
 
 bool Network::node_running(NodeId node) const {
-  return node < alive_.size() && alive_[node] && medium_->attached(node);
+  return node < hot_.alive.size() && hot_.alive.test(node) &&
+         medium_->attached(node);
 }
 
 std::vector<NodeId> Network::live_correct_nodes() const {
@@ -363,10 +390,18 @@ std::vector<NodeId> Network::overlay_members() const {
   return members;
 }
 
+void Network::sample_positions() const {
+  hot_.positions.resize(mobility_.size());
+  for (std::size_t i = 0; i < mobility_.size(); ++i) {
+    hot_.positions[i] = mobility_[i]->position_at(sim_.now());
+  }
+}
+
 bool Network::correct_graph_connected() const {
+  sample_positions();
   std::vector<geo::Vec2> points;
   points.reserve(correct_.size());
-  for (NodeId node : correct_) points.push_back(position_of(node));
+  for (NodeId node : correct_) points.push_back(hot_.positions[node]);
   return geo::unit_disk_connected(points, config_.tx_range);
 }
 
@@ -376,29 +411,9 @@ bool Network::correct_overlay_connected_and_dominating() const {
   for (NodeId m : members) {
     if (kinds_[m] == byz::AdversaryKind::kNone) correct_members.push_back(m);
   }
-  if (correct_members.empty()) return false;
-
-  // Domination: every correct node is a member or within range of one.
-  for (NodeId node : correct_) {
-    bool covered = std::find(correct_members.begin(), correct_members.end(),
-                             node) != correct_members.end();
-    if (!covered) {
-      geo::Vec2 p = position_of(node);
-      for (NodeId m : correct_members) {
-        if (geo::distance(p, position_of(m)) <= config_.tx_range) {
-          covered = true;
-          break;
-        }
-      }
-    }
-    if (!covered) return false;
-  }
-
-  // Connectivity of the correct backbone.
-  std::vector<geo::Vec2> points;
-  points.reserve(correct_members.size());
-  for (NodeId m : correct_members) points.push_back(position_of(m));
-  return geo::unit_disk_connected(points, config_.tx_range);
+  sample_positions();
+  return overlay_connected_and_dominating(hot_, correct_, correct_members,
+                                          config_.tx_range);
 }
 
 }  // namespace byzcast::sim

@@ -20,6 +20,7 @@
 #include "obs/timeline.h"
 #include "radio/medium.h"
 #include "radio/radio.h"
+#include "sim/hot_state.h"
 #include "sim/scenario.h"
 #include "stats/metrics.h"
 #include "trace/trace.h"
@@ -132,11 +133,12 @@ class Network {
   std::vector<NodeId> correct_;
   std::vector<NodeId> byzantine_;
   std::vector<NodeId> senders_;
-  /// Per-node liveness: false while crashed or departed (radio detach is
-  /// tracked by the medium, not here).
-  std::vector<bool> alive_;
-  /// Permanently gone (kLeave) — recover_node refuses these.
-  std::vector<bool> departed_;
+  /// Samples every mobility model into hot_.positions at now().
+  void sample_positions() const;
+  /// Flat SoA per-node state (positions, ranges, liveness bitsets) plus
+  /// arena scratch for the analyses. Mutable: positions and scratch are
+  /// caches refreshed from const analysis entry points.
+  mutable HotState hot_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<obs::Timeline> timeline_;
 };

@@ -398,8 +398,7 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
         network = std::make_unique<Network>(config);
       } catch (const std::runtime_error&) {
         // Infeasible placement for this seed (e.g. no k disjoint
-        // backbones): counts as a resampled attempt, like run_averaged
-        // always treated it.
+        // backbones): counts as a resampled attempt.
         return;
       }
       if (!network->correct_graph_connected()) return;

@@ -1,0 +1,84 @@
+// Bump allocator for short-lived scratch that is freed all at once.
+//
+// The kernel's per-run scratch (CSR adjacency in the ground-truth
+// analyses, candidate buffers) is allocated here: a pointer bump per
+// allocation, and one reset() between runs or sweep replicas rewinds
+// everything while keeping the blocks, so steady-state use performs no
+// heap traffic at all. Only trivially-destructible types are accepted —
+// reset() runs no destructors.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace byzcast::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = 1 << 20)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates a value-initialized array of `n` Ts living until reset().
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::reset runs no destructors");
+    if (n == 0) return nullptr;
+    auto* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) new (p + i) T();
+    return p;
+  }
+
+  /// Rewinds every allocation; capacity is retained for reuse.
+  void reset() {
+    block_ = 0;
+    offset_ = 0;
+  }
+
+  /// Bytes currently held (allocated blocks, used or not).
+  [[nodiscard]] std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size;
+  };
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    for (;;) {
+      if (block_ < blocks_.size()) {
+        Block& b = blocks_[block_];
+        std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+        if (aligned + bytes <= b.size) {
+          offset_ = aligned + bytes;
+          return b.data.get() + aligned;
+        }
+        ++block_;
+        offset_ = 0;
+        continue;
+      }
+      std::size_t size = std::max(block_bytes_, bytes + align);
+      blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+      offset_ = 0;
+    }
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   ///< current block index
+  std::size_t offset_ = 0;  ///< bump cursor within the current block
+};
+
+}  // namespace byzcast::util

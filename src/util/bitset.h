@@ -1,0 +1,87 @@
+// Flat bit array for per-node flags and membership sets.
+//
+// The hot-state SoA layout (sim/hot_state.h) keeps per-node booleans as
+// packed 64-bit words instead of std::vector<bool>'s proxy-reference
+// interface: membership tests in the analysis loops are a shift+mask on
+// contiguous memory, and count() is a popcount sweep.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace byzcast::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits, bool value = false) {
+    assign(bits, value);
+  }
+
+  /// Resizes to `bits` bits, all set to `value`.
+  void assign(std::size_t bits, bool value) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, value ? ~0ULL : 0ULL);
+    trim();
+  }
+
+  void clear() {
+    bits_ = 0;
+    words_.clear();
+  }
+
+  void push_back(bool value) {
+    ++bits_;
+    if (words_.size() * 64 < bits_) words_.push_back(0);
+    set(bits_ - 1, value);
+  }
+
+  /// Sets bit `i`. Throws std::out_of_range past the end.
+  void set(std::size_t i, bool value = true) {
+    check(i);
+    if (value) {
+      words_[i >> 6] |= 1ULL << (i & 63);
+    } else {
+      words_[i >> 6] &= ~(1ULL << (i & 63));
+    }
+  }
+
+  /// Reads bit `i`. Throws std::out_of_range past the end.
+  [[nodiscard]] bool test(std::size_t i) const {
+    check(i);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+  [[nodiscard]] bool empty() const { return bits_ == 0; }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const {
+    std::size_t total = 0;
+    for (std::uint64_t word : words_) {
+      total += static_cast<std::size_t>(std::popcount(word));
+    }
+    return total;
+  }
+
+ private:
+  void check(std::size_t i) const {
+    if (i >= bits_) {
+      throw std::out_of_range("DynamicBitset: index out of range");
+    }
+  }
+  /// Clears bits past `bits_` in the last word so count() stays exact.
+  void trim() {
+    if ((bits_ & 63) != 0 && !words_.empty()) {
+      words_.back() &= (1ULL << (bits_ & 63)) - 1;
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace byzcast::util

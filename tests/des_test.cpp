@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "des/event_queue.h"
@@ -143,6 +145,79 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
   q.schedule(20, [] {});
   q.cancel(early);
   EXPECT_EQ(q.next_time(), 20u);
+}
+
+TEST(EventQueue, TieBreakIsTimeThenInsertionSequenceOnBothBackends) {
+  // The dispatch-order contract every golden hash in the repo rests on:
+  // primary key is time, secondary key is schedule() call order — and it
+  // holds identically for the timer wheel and the plain heap.
+  for (auto backend :
+       {EventQueue::Backend::kHybrid, EventQueue::Backend::kHeapOnly}) {
+    EventQueue q(backend);
+    std::vector<int> fired;
+    q.schedule(50, [&] { fired.push_back(0); });
+    q.schedule(10, [&] { fired.push_back(1); });
+    q.schedule(50, [&] { fired.push_back(2); });
+    q.schedule(10, [&] { fired.push_back(3); });
+    q.schedule(50, [&] { fired.push_back(4); });
+    while (!q.empty()) q.pop().action();
+    EXPECT_EQ(fired, (std::vector<int>{1, 3, 0, 2, 4}))
+        << "backend " << static_cast<int>(backend);
+  }
+}
+
+TEST(EventQueue, BackendsDispatchIdenticallyOnRandomizedSchedule) {
+  // Cross-check: the same randomized schedule — times spanning wheel
+  // slots, level boundaries, and the far-future overflow heap, plus
+  // cancellations and events scheduling follow-up events — must pop in
+  // exactly the same (time, label) sequence from both backends.
+  auto run = [](EventQueue::Backend backend) {
+    EventQueue q(backend);
+    Rng rng(2026);
+    std::vector<std::pair<SimTime, int>> fired;
+    int spawned = 0;
+    // Each fired event may schedule one follow-up, exercising inserts
+    // at and after the wheel cursor mid-drain.
+    std::function<std::function<void()>(SimTime, int)> make =
+        [&](SimTime at, int label) -> std::function<void()> {
+      return [&, at, label] {
+        fired.emplace_back(at, label);
+        if (spawned < 200) {
+          const int child = 100000 + spawned++;
+          const SimTime child_at = at + rng.next_below(1 << 14);
+          q.schedule(child_at, make(child_at, child));
+        }
+      };
+    };
+    std::vector<EventId> ids;
+    for (int i = 0; i < 400; ++i) {
+      SimTime at = 0;
+      switch (rng.next_below(5)) {
+        case 0:  at = rng.next_below(1 << 12); break;        // first ticks
+        case 1:  at = rng.next_below(1 << 22); break;        // levels 0-1
+        case 2:  at = rng.next_below(1ULL << 32); break;     // levels 2-3
+        case 3:  at = rng.next_below(1ULL << 40); break;     // beyond wheel
+        default:                                             // exact slot
+          at = rng.next_below(64) << (10 + 6 * rng.next_below(4));
+      }
+      ids.push_back(q.schedule(at, make(at, i)));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 3) {
+      EXPECT_TRUE(q.cancel(ids[i]));
+    }
+    SimTime prev = 0;
+    while (!q.empty()) {
+      auto entry = q.pop();
+      EXPECT_GE(entry.at, prev);  // never travels back in time
+      prev = entry.at;
+      entry.action();
+    }
+    return fired;
+  };
+  auto hybrid = run(EventQueue::Backend::kHybrid);
+  auto heap = run(EventQueue::Backend::kHeapOnly);
+  ASSERT_EQ(hybrid.size(), heap.size());
+  EXPECT_EQ(hybrid, heap);
 }
 
 // ---------------------------------------------------------------------------

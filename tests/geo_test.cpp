@@ -58,6 +58,104 @@ TEST(GridIndex, QueryMatchesBruteForce) {
   }
 }
 
+TEST(GridIndex, PointsExactlyOnCellEdgesMatchBruteForce) {
+  // Points and query centres sitting exactly on cell boundaries (and the
+  // area's corners), with radii that touch neighbours at exact cell
+  // multiples — the off-by-one hot spots for truncation-based bucketing.
+  Area area{100, 100};
+  std::vector<Vec2> points;
+  for (double x : {0.0, 10.0, 20.0, 50.0, 90.0, 100.0}) {
+    for (double y : {0.0, 10.0, 50.0, 100.0}) points.push_back({x, y});
+  }
+  GridIndex index(area, 10);
+  index.rebuild(points);
+
+  std::vector<std::size_t> got;
+  for (const Vec2& center : points) {
+    for (double radius : {0.0, 10.0, 15.0, 20.0}) {
+      index.query(center, radius, got);
+      std::sort(got.begin(), got.end());
+      std::vector<std::size_t> expected;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        if (distance(points[i], center) <= radius) expected.push_back(i);
+      }
+      EXPECT_EQ(got, expected)
+          << "center (" << center.x << "," << center.y << ") r=" << radius;
+    }
+  }
+}
+
+TEST(GridIndex, ZeroRadiusQueryReturnsExactMatchesOnly) {
+  GridIndex index({100, 100}, 10);
+  index.rebuild({{5, 5}, {10, 10}, {5.5, 5}, {100, 100}});
+  std::vector<std::size_t> out;
+  index.query({5, 5}, 0, out);
+  EXPECT_EQ(out, (std::vector<std::size_t>{0}));
+  index.query({10, 10}, 0, out);  // on a cell corner
+  EXPECT_EQ(out, (std::vector<std::size_t>{1}));
+  index.query({100, 100}, 0, out);  // the area's far corner
+  EXPECT_EQ(out, (std::vector<std::size_t>{3}));
+  index.query({7, 7}, 0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(GridIndex, OutOfBoundsPositionsAfterMobilityStayQueryable) {
+  // Mobility scripts routinely leave the configured area; the index
+  // clamps such positions onto the boundary and must keep the items
+  // findable, also from query centres that are themselves outside.
+  GridIndex index({100, 100}, 10);
+  index.rebuild({{50, 50}, {10, 10}});
+
+  index.update(0, {150, -20});  // clamps to (100, 0)
+  EXPECT_EQ(index.position(0), (Vec2{100, 0}));
+  std::vector<std::size_t> out;
+  index.query({100, 0}, 1, out);
+  EXPECT_EQ(out, (std::vector<std::size_t>{0}));
+  index.query({50, 50}, 2, out);
+  EXPECT_TRUE(out.empty());
+  index.query({150, -20}, 60, out);  // centre outside; dist to (100,0) ~53.9
+  EXPECT_EQ(out, (std::vector<std::size_t>{0}));
+
+  index.update(0, {-5, 105});  // clamps to (0, 100)
+  index.query({0, 100}, 0.5, out);
+  EXPECT_EQ(out, (std::vector<std::size_t>{0}));
+}
+
+TEST(GridIndex, HugeRadiusReturnsEverything) {
+  // (center ± radius) / cell_size overflows size_t for large radii; the
+  // span clamp must happen in double space, not after the cast.
+  GridIndex index({100, 100}, 10);
+  index.rebuild({{5, 5}, {50, 50}, {99, 99}});
+  std::vector<std::size_t> out;
+  index.query({50, 50}, 1e18, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(GridIndex, QueryCellsIsSupersetOfQuery) {
+  des::Rng rng(23);
+  Area area{100, 100};
+  std::vector<Vec2> points;
+  for (int i = 0; i < 150; ++i) {
+    points.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  }
+  GridIndex index(area, 12);
+  index.rebuild(points);
+  std::vector<std::size_t> exact;
+  std::vector<std::size_t> coarse;
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec2 center{rng.uniform(-10, 110), rng.uniform(-10, 110)};
+    double radius = rng.uniform(0, 40);
+    index.query(center, radius, exact);
+    index.query_cells(center, radius, coarse);
+    std::sort(coarse.begin(), coarse.end());
+    for (std::size_t item : exact) {
+      EXPECT_TRUE(std::binary_search(coarse.begin(), coarse.end(), item))
+          << "trial " << trial << " lost item " << item;
+    }
+  }
+}
+
 TEST(GridIndex, UpdateMovesItems) {
   GridIndex index({100, 100}, 10);
   index.rebuild({{5, 5}, {50, 50}});
