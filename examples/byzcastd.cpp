@@ -1,0 +1,366 @@
+// byzcastd — one protocol node as a real OS process (DESIGN.md §13).
+//
+// The same core::ByzcastNode that runs inside the simulator, constructed
+// against the live backend (net::IoLoop + net::UdpTransport) instead of
+// the DES. A fleet of byzcastd processes on localhost is the protocol
+// with real sockets, real clocks and real process boundaries; the
+// `--transport=sim` mode runs the equivalent scenario in-process on the
+// DES and emits the *predicted* delivery sets, which the live-harness
+// driver (tests/live_harness/live_harness.py) compares against the
+// daemons' observed ones.
+//
+//   # prediction (all nodes, one process, virtual time):
+//   byzcastd --transport=sim --n=8 --bcasts=5 --deliveries=expect.json
+//   # one live node (repeat for ids 0..n-1, any order):
+//   byzcastd --transport=udp --id=3 --n=8 --bcasts=5 --deliveries=n3.json
+//
+// Keys never cross the wire: every process derives the whole fleet's
+// toy-PKI deterministically from --key-seed (crypto::Pki issues keys in
+// node-id order), keeping only its own Signer — the operational story a
+// real deployment would implement with provisioned key files.
+//
+// Delivery artifact ("byzcast-deliveries/v1"): per-node sorted accept
+// sets as [origin, seq] pairs; the source node's own broadcasts count as
+// delivered to itself. --report additionally emits the same
+// "byzcast-run-report/v1" JSON byzsim writes, with tool="byzcastd" and
+// the flight-recorder timeline sampled on wall-clock time.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/byzcast_node.h"
+#include "mobility/static_mobility.h"
+#include "net/io_loop.h"
+#include "net/sim_backend.h"
+#include "net/udp_backend.h"
+#include "obs/run_report.h"
+#include "obs/timeline.h"
+#include "radio/medium.h"
+#include "sim/runner.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace byzcast;
+
+struct Options {
+  NodeId id = 0;
+  std::size_t n = 4;
+  std::uint64_t seed = 1;
+  std::uint64_t key_seed = 42;
+  bool source = false;
+  std::string transport = "sim";
+  std::string host = "127.0.0.1";
+  std::uint16_t base_port = 19000;
+  std::size_t bcasts = 5;
+  des::SimDuration interval = des::millis(500);
+  std::size_t payload_bytes = 64;
+  des::SimDuration start_delay = des::seconds(2);
+  des::SimDuration duration = des::seconds(10);
+  core::ProtocolConfig protocol;
+  std::string deliveries_path;
+  std::string report_path;
+  des::SimDuration telemetry_interval = 0;
+};
+
+using DeliverySet = std::set<std::pair<NodeId, std::uint32_t>>;
+
+/// Writes the "byzcast-deliveries/v1" artifact. `nodes` maps node id to
+/// its sorted accept set; a live daemon passes exactly one entry, the
+/// sim prediction passes all n.
+void write_deliveries(std::ostream& os, const Options& opt,
+                      const std::map<NodeId, DeliverySet>& nodes) {
+  os << "{\n  \"schema\": \"byzcast-deliveries/v1\",\n";
+  os << "  \"n\": " << opt.n << ",\n";
+  // sim mode predicts the whole fleet with node 0 broadcasting; a live
+  // daemon only knows whether *it* is the source (-1 = some other node).
+  const int source =
+      opt.transport == "sim" ? 0 : (opt.source ? int(opt.id) : -1);
+  os << "  \"source\": " << source << ",\n";
+  os << "  \"bcasts\": " << opt.bcasts << ",\n";
+  os << "  \"nodes\": {\n";
+  bool first_node = true;
+  for (const auto& [id, set] : nodes) {
+    if (!first_node) os << ",\n";
+    first_node = false;
+    os << "    \"" << id << "\": [";
+    bool first = true;
+    for (const auto& [origin, seq] : set) {
+      if (!first) os << ", ";
+      first = false;
+      os << "[" << origin << ", " << seq << "]";
+    }
+    os << "]";
+  }
+  os << "\n  }\n}\n";
+}
+
+/// Builds the ScenarioConfig the run report describes; shared by both
+/// modes so sim and udp reports diff cleanly apart from their metrics.
+sim::ScenarioConfig report_config(const Options& opt) {
+  sim::ScenarioConfig config;
+  config.seed = opt.seed;
+  config.n = opt.n;
+  config.num_broadcasts = opt.bcasts;
+  config.broadcast_interval = opt.interval;
+  config.payload_bytes = opt.payload_bytes;
+  config.senders = 1;
+  config.protocol_config = opt.protocol;
+  config.telemetry_interval = opt.telemetry_interval;
+  return config;
+}
+
+void write_report(const Options& opt, const sim::ScenarioConfig& config,
+                  const sim::RunResult& result) {
+  obs::RunReport report;
+  report.tool = "byzcastd";
+  report.config = &config;
+  report.result = &result;
+  if (opt.report_path == "-") {
+    report.write_json(std::cout);
+    return;
+  }
+  std::ofstream file(opt.report_path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw std::invalid_argument("--report: cannot open " + opt.report_path);
+  }
+  report.write_json(file);
+  std::fprintf(stderr, "byzcastd: run report written to %s\n",
+               opt.report_path.c_str());
+}
+
+void write_deliveries_file(const Options& opt,
+                           const std::map<NodeId, DeliverySet>& nodes) {
+  if (opt.deliveries_path.empty()) return;
+  if (opt.deliveries_path == "-") {
+    write_deliveries(std::cout, opt, nodes);
+    return;
+  }
+  std::ofstream file(opt.deliveries_path,
+                     std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw std::invalid_argument("--deliveries: cannot open " +
+                                opt.deliveries_path);
+  }
+  write_deliveries(file, opt, nodes);
+}
+
+// ---------------------------------------------------------------------------
+// --transport=sim: the DES prediction. One process simulates the whole
+// fleet under ideal-channel conditions (no collisions, no loss, all
+// nodes in range — the localhost analogue), node 0 broadcasting on the
+// same schedule the live source uses. Deterministic in (seed, flags).
+// ---------------------------------------------------------------------------
+int run_sim_prediction(const Options& opt) {
+  des::Simulator sim(opt.seed);
+  stats::Metrics metrics;
+  crypto::Pki pki{des::Rng(opt.key_seed)};
+
+  radio::MediumConfig mc;
+  mc.collisions_enabled = false;
+  mc.base_loss_prob = 0.0;
+  radio::Medium medium(sim, std::make_unique<radio::UnitDisk>(), mc,
+                       &metrics);
+
+  std::vector<std::unique_ptr<mobility::MobilityModel>> mobility;
+  std::vector<std::unique_ptr<radio::Radio>> radios;
+  std::vector<std::unique_ptr<core::ByzcastNode>> nodes;
+  std::map<NodeId, DeliverySet> delivered;
+  for (NodeId id = 0; id < opt.n; ++id) {
+    // A tight line well inside one transmission range: every node hears
+    // every frame, like n daemons fanning out on loopback.
+    mobility.push_back(std::make_unique<mobility::StaticMobility>(
+        geo::Vec2{static_cast<double>(id), 0}));
+    radios.push_back(std::make_unique<radio::Radio>(medium, id,
+                                                    *mobility.back(), 1e5));
+    nodes.push_back(std::make_unique<core::ByzcastNode>(
+        sim, *radios.back(), pki, pki.register_node(id), opt.protocol,
+        &metrics));
+    nodes.back()->set_expected_targets(opt.n - 1);
+    nodes.back()->set_accept_handler(
+        [&delivered, id](const core::MessageId& mid,
+                         std::span<const std::uint8_t>) {
+          delivered[id].emplace(mid.origin, mid.seq);
+        });
+    nodes.back()->start();
+    delivered[id];  // every node appears, even with an empty set
+  }
+
+  std::optional<obs::Timeline> timeline;
+  if (opt.telemetry_interval > 0) {
+    timeline.emplace(sim, metrics, opt.telemetry_interval);
+    for (NodeId id = 0; id < opt.n; ++id) {
+      timeline->add_source("node" + std::to_string(id), *nodes[id]);
+    }
+    timeline->start();
+  }
+
+  for (std::size_t i = 0; i < opt.bcasts; ++i) {
+    sim.schedule_at(opt.start_delay + opt.interval * i, [&, i] {
+      nodes[0]->broadcast(sim::make_payload(i, opt.payload_bytes));
+      delivered[0].emplace(0, nodes[0]->next_seq() - 1);
+    });
+  }
+  sim.run_until(opt.duration);
+
+  write_deliveries_file(opt, delivered);
+  if (!opt.report_path.empty()) {
+    if (timeline) timeline->sample_now();
+    sim::RunResult result;
+    result.metrics = metrics;
+    result.correct_count = opt.n;
+    result.sim_seconds = static_cast<double>(sim.now()) / 1e6;
+    if (timeline) result.timeline = timeline->data();
+    write_report(opt, report_config(opt), result);
+  }
+  std::fprintf(stderr, "byzcastd: sim prediction done, %zu nodes, %zu events\n",
+               opt.n, static_cast<std::size_t>(sim.events_executed()));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --transport=udp: one live node. Peer list is the full id range on
+// consecutive ports (base_port + id) — the localhost harness layout.
+// ---------------------------------------------------------------------------
+int run_udp_daemon(const Options& opt) {
+  net::IoLoop loop(opt.seed ^ (0x9e3779b97f4a7c15ULL * (opt.id + 1)));
+  stats::Metrics metrics;
+  crypto::Pki pki{des::Rng(opt.key_seed)};
+  crypto::Signer signer{};
+  for (NodeId id = 0; id < opt.n; ++id) {
+    crypto::Signer issued = pki.register_node(id);
+    if (id == opt.id) signer = issued;
+  }
+
+  std::vector<net::UdpPeer> peers;
+  for (NodeId id = 0; id < opt.n; ++id) {
+    peers.push_back(net::UdpPeer{
+        id, opt.host, static_cast<std::uint16_t>(opt.base_port + id)});
+  }
+  net::UdpTransport transport(
+      loop, opt.id, opt.host,
+      static_cast<std::uint16_t>(opt.base_port + opt.id), std::move(peers));
+
+  core::ByzcastNode node(loop, transport, pki, signer, opt.protocol,
+                         &metrics);
+  std::map<NodeId, DeliverySet> delivered;
+  delivered[opt.id];
+  node.set_accept_handler(
+      [&delivered, &opt](const core::MessageId& mid,
+                         std::span<const std::uint8_t>) {
+        delivered[opt.id].emplace(mid.origin, mid.seq);
+      });
+  node.set_expected_targets(opt.n - 1);
+  node.start();
+
+  std::optional<obs::Timeline> timeline;
+  if (opt.telemetry_interval > 0) {
+    timeline.emplace(loop, metrics, opt.telemetry_interval);
+    timeline->add_source("node" + std::to_string(opt.id), node);
+    timeline->start();
+  }
+
+  if (opt.source) {
+    for (std::size_t i = 0; i < opt.bcasts; ++i) {
+      loop.schedule_after(opt.start_delay + opt.interval * i, [&, i] {
+        node.broadcast(sim::make_payload(i, opt.payload_bytes));
+        delivered[opt.id].emplace(opt.id, node.next_seq() - 1);
+      });
+    }
+  }
+
+  loop.run_for(opt.duration);
+  node.stop();
+
+  write_deliveries_file(opt, delivered);
+  if (!opt.report_path.empty()) {
+    if (timeline) timeline->sample_now();
+    sim::RunResult result;
+    result.metrics = metrics;
+    result.correct_count = opt.n;
+    result.sim_seconds = static_cast<double>(loop.now()) / 1e6;
+    if (timeline) result.timeline = timeline->data();
+    write_report(opt, report_config(opt), result);
+  }
+  std::fprintf(stderr,
+               "byzcastd: node %u done: %zu delivered, %llu datagrams in, "
+               "%llu rejected\n",
+               opt.id, delivered[opt.id].size(),
+               static_cast<unsigned long long>(transport.datagrams_received()),
+               static_cast<unsigned long long>(transport.datagrams_rejected()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::CliArgs args(argc, argv);
+  args.begin_group("node")
+      .add_flag("id", 0, "this node's id (0..n-1)")
+      .add_flag("n", 4, "fleet size")
+      .add_flag("key-seed", 42, "toy-PKI derivation seed (fleet-wide)")
+      .add_flag("transport", "sim",
+                "sim = in-process DES prediction of the whole fleet; "
+                "udp = one live node")
+      .add_flag("source", false, "this node broadcasts the workload");
+  args.begin_group("workload")
+      .add_flag("seed", 1, "scenario / rng seed")
+      .add_flag("bcasts", 5, "broadcasts the source sends")
+      .add_flag("interval-ms", 500, "spacing between broadcasts")
+      .add_flag("payload", 64, "payload bytes per broadcast")
+      .add_flag("start-delay-s", 2.0,
+                "overlay warm-up before the first broadcast")
+      .add_flag("duration-s", 10.0, "total run length")
+      .add_flag("gossip-ms", 500, "gossip period")
+      .add_flag("hello-ms", 1000, "HELLO beacon period");
+  args.begin_group("udp backend")
+      .add_flag("host", "127.0.0.1", "IPv4 address every node binds")
+      .add_flag("base-port", 19000, "node i binds base-port + i");
+  args.begin_group("output")
+      .add_flag("deliveries", "",
+                "write the byzcast-deliveries/v1 JSON here (- = stdout)")
+      .add_flag("report", "",
+                "write a byzcast-run-report/v1 JSON here (- = stdout)")
+      .add_flag("telemetry-ms", 0.0,
+                "flight-recorder sampling period (0 = off)");
+  if (args.handle_help("byzcastd", std::cout)) return 0;
+
+  Options opt;
+  opt.id = static_cast<NodeId>(args.get_int("id"));
+  opt.n = static_cast<std::size_t>(args.get_int("n"));
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  opt.key_seed = static_cast<std::uint64_t>(args.get_int("key-seed"));
+  opt.source = args.get_bool("source");
+  opt.transport = args.get_str("transport");
+  opt.host = args.get_str("host");
+  opt.base_port = static_cast<std::uint16_t>(args.get_int("base-port"));
+  opt.bcasts = static_cast<std::size_t>(args.get_int("bcasts"));
+  opt.interval = des::millis(
+      static_cast<std::uint64_t>(args.get_int("interval-ms")));
+  opt.payload_bytes = static_cast<std::size_t>(args.get_int("payload"));
+  opt.start_delay = des::from_seconds(args.get_double("start-delay-s"));
+  opt.duration = des::from_seconds(args.get_double("duration-s"));
+  opt.protocol.gossip_period = des::millis(
+      static_cast<std::uint64_t>(args.get_int("gossip-ms")));
+  opt.protocol.hello_period = des::millis(
+      static_cast<std::uint64_t>(args.get_int("hello-ms")));
+  opt.deliveries_path = args.get_str("deliveries");
+  opt.report_path = args.get_str("report");
+  opt.telemetry_interval =
+      des::from_seconds(args.get_double("telemetry-ms") / 1e3);
+  args.reject_unknown();
+
+  if (opt.n == 0 || opt.id >= opt.n) {
+    throw std::invalid_argument("--id must be < --n");
+  }
+  if (opt.transport == "sim") return run_sim_prediction(opt);
+  if (opt.transport == "udp") return run_udp_daemon(opt);
+  throw std::invalid_argument("--transport: sim|udp");
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "byzcastd: %s\n", e.what());
+  return 1;
+}

@@ -51,6 +51,18 @@ int main(int argc, char** argv) try {
   using namespace byzcast;
   util::CliArgs args(argc, argv);
 
+  // byzsim is the DES front-end; live UDP fleets are byzcastd's job. The
+  // shared flag keeps scripts portable between the two binaries.
+  std::string transport = args.get_str("transport", "sim");
+  if (transport == "udp") {
+    throw std::invalid_argument(
+        "--transport=udp: byzsim only runs the simulator backend; "
+        "use byzcastd for live UDP nodes");
+  }
+  if (transport != "sim") {
+    throw std::invalid_argument("--transport: sim|udp");
+  }
+
   sim::ScenarioConfig config;
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   config.n = static_cast<std::size_t>(args.get_int("n", 50));

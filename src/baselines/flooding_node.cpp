@@ -1,6 +1,7 @@
 #include "baselines/flooding_node.h"
 
 #include "core/message.h"  // kMaxPayloadBytes: one payload cap for all stacks
+#include "net/sim_backend.h"
 #include "util/bytes.h"
 
 namespace byzcast::baselines {
@@ -46,19 +47,32 @@ std::optional<FloodingNode::FloodPacket> FloodingNode::parse(
   return packet;
 }
 
-FloodingNode::FloodingNode(des::Simulator& sim, radio::Radio& radio,
+FloodingNode::FloodingNode(net::Env& env, net::Transport& transport,
                            const crypto::Pki& pki, crypto::Signer signer,
                            stats::Metrics* metrics)
-    : sim_(sim),
-      radio_(radio),
+    : env_(env),
+      transport_(transport),
       pki_(pki),
       signer_(signer),
       metrics_(metrics) {
-  radio_.set_receive_handler([this](const radio::Frame& frame) {
+  transport_.set_receive_handler([this](const radio::Frame& frame) {
     std::optional<FloodPacket> packet = parse(frame.payload);
     if (packet) on_packet(*packet, frame.sender);
   });
 }
+
+FloodingNode::FloodingNode(std::unique_ptr<net::Transport> owned,
+                           net::Env& env, const crypto::Pki& pki,
+                           crypto::Signer signer, stats::Metrics* metrics)
+    : FloodingNode(env, *owned, pki, signer, metrics) {
+  owned_transport_ = std::move(owned);
+}
+
+FloodingNode::FloodingNode(des::Simulator& sim, radio::Radio& radio,
+                           const crypto::Pki& pki, crypto::Signer signer,
+                           stats::Metrics* metrics)
+    : FloodingNode(std::make_unique<net::SimTransport>(radio), sim, pki,
+                   signer, metrics) {}
 
 void FloodingNode::send_flood(const FloodPacket& packet) {
   // Forwarded packets carry the frame bytes they arrived in; only a
@@ -68,7 +82,7 @@ void FloodingNode::send_flood(const FloodPacket& packet) {
   if (metrics_ != nullptr) {
     metrics_->on_packet_sent(stats::MsgKind::kData, bytes.size());
   }
-  radio_.send(std::move(bytes));
+  transport_.send(std::move(bytes));
 }
 
 void FloodingNode::broadcast(std::vector<std::uint8_t> payload) {
@@ -82,7 +96,7 @@ void FloodingNode::broadcast(std::vector<std::uint8_t> payload) {
   seen_.emplace(packet.origin, packet.seq);
   if (metrics_ != nullptr) {
     metrics_->on_broadcast(stats::MessageKey{packet.origin, packet.seq},
-                           sim_.now(), targets_);
+                           env_.now(), targets_);
   }
   send_flood(packet);
 }
@@ -98,7 +112,7 @@ void FloodingNode::on_packet(const FloodPacket& packet, NodeId /*from*/) {
   seen_.emplace(packet.origin, packet.seq);
   if (metrics_ != nullptr) {
     metrics_->on_accept(stats::MessageKey{packet.origin, packet.seq}, id(),
-                        sim_.now());
+                        env_.now());
   }
   if (accept_handler_) accept_handler_(packet.origin, packet.seq,
                                        packet.payload);

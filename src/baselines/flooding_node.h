@@ -11,12 +11,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
 
 #include "crypto/signature.h"
 #include "des/simulator.h"
+#include "net/env.h"
+#include "net/transport.h"
 #include "radio/radio.h"
 #include "stats/metrics.h"
 
@@ -27,6 +30,10 @@ class FloodingNode {
   using AcceptHandler = std::function<void(
       NodeId origin, std::uint32_t seq, std::span<const std::uint8_t>)>;
 
+  FloodingNode(net::Env& env, net::Transport& transport,
+               const crypto::Pki& pki, crypto::Signer signer,
+               stats::Metrics* metrics = nullptr);
+  /// Deprecated DES-only shim (owns a net::SimTransport over `radio`).
   FloodingNode(des::Simulator& sim, radio::Radio& radio,
                const crypto::Pki& pki, crypto::Signer signer,
                stats::Metrics* metrics = nullptr);
@@ -64,8 +71,8 @@ class FloodingNode {
   /// Overridden by Byzantine variants (e.g. drop instead of forward).
   virtual void on_packet(const FloodPacket& packet, NodeId from);
 
-  des::Simulator& sim_;
-  radio::Radio& radio_;
+  net::Env& env_;
+  net::Transport& transport_;
   const crypto::Pki& pki_;
   crypto::Signer signer_;
   stats::Metrics* metrics_;
@@ -75,6 +82,12 @@ class FloodingNode {
   std::set<std::pair<NodeId, std::uint32_t>> seen_;
 
   void send_flood(const FloodPacket& packet);
+
+ private:
+  FloodingNode(std::unique_ptr<net::Transport> owned, net::Env& env,
+               const crypto::Pki& pki, crypto::Signer signer,
+               stats::Metrics* metrics);
+  std::unique_ptr<net::Transport> owned_transport_;
 };
 
 }  // namespace byzcast::baselines

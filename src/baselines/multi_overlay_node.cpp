@@ -5,6 +5,7 @@
 
 #include "baselines/flooding_node.h"
 #include "core/message.h"  // kMaxPayloadBytes: one payload cap for all stacks
+#include "net/sim_backend.h"
 #include "util/bytes.h"
 
 namespace byzcast::baselines {
@@ -165,13 +166,13 @@ std::optional<MultiOverlayNode::CopyPacket> MultiOverlayNode::parse(
   return packet;
 }
 
-MultiOverlayNode::MultiOverlayNode(des::Simulator& sim, radio::Radio& radio,
+MultiOverlayNode::MultiOverlayNode(net::Env& env, net::Transport& transport,
                                    const crypto::Pki& pki,
                                    crypto::Signer signer,
                                    std::vector<bool> memberships,
                                    stats::Metrics* metrics)
-    : sim_(sim),
-      radio_(radio),
+    : env_(env),
+      transport_(transport),
       pki_(pki),
       signer_(signer),
       memberships_(std::move(memberships)),
@@ -179,11 +180,29 @@ MultiOverlayNode::MultiOverlayNode(des::Simulator& sim, radio::Radio& radio,
   if (memberships_.empty()) {
     throw std::invalid_argument("MultiOverlayNode: need at least 1 overlay");
   }
-  radio_.set_receive_handler([this](const radio::Frame& frame) {
+  transport_.set_receive_handler([this](const radio::Frame& frame) {
     std::optional<CopyPacket> packet = parse(frame.payload);
     if (packet) on_packet(*packet, frame.sender);
   });
 }
+
+MultiOverlayNode::MultiOverlayNode(std::unique_ptr<net::Transport> owned,
+                                   net::Env& env, const crypto::Pki& pki,
+                                   crypto::Signer signer,
+                                   std::vector<bool> memberships,
+                                   stats::Metrics* metrics)
+    : MultiOverlayNode(env, *owned, pki, signer, std::move(memberships),
+                       metrics) {
+  owned_transport_ = std::move(owned);
+}
+
+MultiOverlayNode::MultiOverlayNode(des::Simulator& sim, radio::Radio& radio,
+                                   const crypto::Pki& pki,
+                                   crypto::Signer signer,
+                                   std::vector<bool> memberships,
+                                   stats::Metrics* metrics)
+    : MultiOverlayNode(std::make_unique<net::SimTransport>(radio), sim, pki,
+                       signer, std::move(memberships), metrics) {}
 
 void MultiOverlayNode::send_copy(const CopyPacket& packet) {
   // A forwarded copy re-sends the frame bytes it arrived in; only a
@@ -193,7 +212,7 @@ void MultiOverlayNode::send_copy(const CopyPacket& packet) {
   if (metrics_ != nullptr) {
     metrics_->on_packet_sent(stats::MsgKind::kData, bytes.size());
   }
-  radio_.send(std::move(bytes));
+  transport_.send(std::move(bytes));
 }
 
 void MultiOverlayNode::broadcast(std::vector<std::uint8_t> payload) {
@@ -207,7 +226,7 @@ void MultiOverlayNode::broadcast(std::vector<std::uint8_t> payload) {
   accepted_.emplace(packet.origin, packet.seq);
   if (metrics_ != nullptr) {
     metrics_->on_broadcast(stats::MessageKey{packet.origin, packet.seq},
-                           sim_.now(), targets_);
+                           env_.now(), targets_);
   }
   // "Every message has to be sent f+1 times": one copy per overlay. The
   // wire bytes differ per copy (the overlay tag is on the wire), so each
@@ -231,7 +250,7 @@ void MultiOverlayNode::on_packet(const CopyPacket& packet, NodeId /*from*/) {
   if (accepted_.emplace(packet.origin, packet.seq).second) {
     if (metrics_ != nullptr) {
       metrics_->on_accept(stats::MessageKey{packet.origin, packet.seq}, id(),
-                          sim_.now());
+                          env_.now());
     }
     if (accept_handler_) {
       accept_handler_(packet.origin, packet.seq, packet.payload);

@@ -52,7 +52,7 @@ void MuteAdversary::handle_data(const core::DataMsg& msg, NodeId /*from*/) {
   // selfish node would still read the data) — it just never spends a
   // transmission on anyone else.
   if (verify_data(msg) && !store_.has(msg.id)) {
-    store_.insert(msg, sim_.now());
+    store_.insert(msg, env_.now());
   }
 }
 
@@ -67,7 +67,7 @@ void MuteAdversary::handle_request(const core::RequestMsg&, NodeId) {}
 void MuteAdversary::handle_find(const core::FindMissingMsg&, NodeId) {}
 
 void MuteAdversary::on_hello_tick() {
-  table_.expire(sim_.now());
+  table_.expire(env_.now());
   // The lie: always claim overlay membership, regardless of any election
   // rule — "as they are Byzantine, they may continue to consider
   // themselves as overlay nodes" (§3.3).
@@ -81,6 +81,15 @@ void MuteAdversary::on_gossip_tick() {}  // never gossips
 // --------------------------------------------------------------------------
 // VerboseAdversary
 // --------------------------------------------------------------------------
+VerboseAdversary::VerboseAdversary(net::Env& env, net::Transport& transport,
+                                   const crypto::Pki& pki,
+                                   crypto::Signer signer,
+                                   core::ProtocolConfig config,
+                                   stats::Metrics* metrics,
+                                   des::SimDuration spam_period)
+    : ByzcastNode(env, transport, pki, signer, config, metrics),
+      spam_timer_(env_, spam_period, [this] { spam(); }) {}
+
 VerboseAdversary::VerboseAdversary(des::Simulator& sim, radio::Radio& radio,
                                    const crypto::Pki& pki,
                                    crypto::Signer signer,
@@ -88,7 +97,7 @@ VerboseAdversary::VerboseAdversary(des::Simulator& sim, radio::Radio& radio,
                                    stats::Metrics* metrics,
                                    des::SimDuration spam_period)
     : ByzcastNode(sim, radio, pki, signer, config, metrics),
-      spam_timer_(sim, spam_period, [this] { spam(); }) {}
+      spam_timer_(env_, spam_period, [this] { spam(); }) {}
 
 void VerboseAdversary::stop() {
   ByzcastNode::stop();
@@ -122,13 +131,22 @@ void VerboseAdversary::spam() {
 // --------------------------------------------------------------------------
 // ForgerAdversary
 // --------------------------------------------------------------------------
+ForgerAdversary::ForgerAdversary(net::Env& env, net::Transport& transport,
+                                 const crypto::Pki& pki, crypto::Signer signer,
+                                 core::ProtocolConfig config,
+                                 stats::Metrics* metrics,
+                                 des::SimDuration forge_period, NodeId victim)
+    : ByzcastNode(env, transport, pki, signer, config, metrics),
+      forge_timer_(env_, forge_period, [this] { forge(); }),
+      victim_(victim) {}
+
 ForgerAdversary::ForgerAdversary(des::Simulator& sim, radio::Radio& radio,
                                  const crypto::Pki& pki, crypto::Signer signer,
                                  core::ProtocolConfig config,
                                  stats::Metrics* metrics,
                                  des::SimDuration forge_period, NodeId victim)
     : ByzcastNode(sim, radio, pki, signer, config, metrics),
-      forge_timer_(sim, forge_period, [this] { forge(); }),
+      forge_timer_(env_, forge_period, [this] { forge(); }),
       victim_(victim) {}
 
 void ForgerAdversary::stop() {
@@ -159,7 +177,7 @@ void ForgerAdversary::forge() {
 void LiarAdversary::handle_data(const core::DataMsg& msg, NodeId /*from*/) {
   if (store_.has(msg.id)) return;
   if (!verify_data(msg)) return;
-  store_.insert(msg, sim_.now());
+  store_.insert(msg, env_.now());
   // Forward with one byte flipped but the original signature: every
   // correct receiver must reject it and suspect us. The shared payload
   // buffer is immutable, so the tampered copy gets its own bytes — and
@@ -178,7 +196,7 @@ void LiarAdversary::handle_data(const core::DataMsg& msg, NodeId /*from*/) {
 }
 
 void LiarAdversary::on_hello_tick() {
-  table_.expire(sim_.now());
+  table_.expire(env_.now());
   active_ = true;  // lie its way into the overlay
   dominator_ = true;
   send_packet(make_hello());
@@ -202,6 +220,16 @@ void FakeGossiperAdversary::handle_find(const core::FindMissingMsg&, NodeId) {}
 // --------------------------------------------------------------------------
 // SelectiveForwarder
 // --------------------------------------------------------------------------
+SelectiveForwarder::SelectiveForwarder(net::Env& env,
+                                       net::Transport& transport,
+                                       const crypto::Pki& pki,
+                                       crypto::Signer signer,
+                                       core::ProtocolConfig config,
+                                       stats::Metrics* metrics,
+                                       double forward_prob)
+    : ByzcastNode(env, transport, pki, signer, config, metrics),
+      forward_prob_(forward_prob) {}
+
 SelectiveForwarder::SelectiveForwarder(des::Simulator& sim,
                                        radio::Radio& radio,
                                        const crypto::Pki& pki,
@@ -219,7 +247,7 @@ void SelectiveForwarder::handle_data(const core::DataMsg& msg, NodeId from) {
     // Behave honestly for this one (forward, gossip, the lot).
     ByzcastNode::handle_data(msg, from);
   } else {
-    store_.insert(msg, sim_.now());  // swallow
+    store_.insert(msg, env_.now());  // swallow
   }
 }
 
@@ -227,7 +255,7 @@ void SelectiveForwarder::handle_request(const core::RequestMsg&, NodeId) {}
 void SelectiveForwarder::handle_find(const core::FindMissingMsg&, NodeId) {}
 
 void SelectiveForwarder::on_hello_tick() {
-  table_.expire(sim_.now());
+  table_.expire(env_.now());
   active_ = true;
   dominator_ = true;
   send_packet(make_hello());
@@ -236,6 +264,13 @@ void SelectiveForwarder::on_hello_tick() {
 // --------------------------------------------------------------------------
 // DelayedMuteAdversary
 // --------------------------------------------------------------------------
+DelayedMuteAdversary::DelayedMuteAdversary(
+    net::Env& env, net::Transport& transport, const crypto::Pki& pki,
+    crypto::Signer signer, core::ProtocolConfig config,
+    stats::Metrics* metrics, des::SimDuration onset)
+    : ByzcastNode(env, transport, pki, signer, config, metrics),
+      onset_(onset) {}
+
 DelayedMuteAdversary::DelayedMuteAdversary(
     des::Simulator& sim, radio::Radio& radio, const crypto::Pki& pki,
     crypto::Signer signer, core::ProtocolConfig config,
@@ -249,7 +284,7 @@ void DelayedMuteAdversary::handle_data(const core::DataMsg& msg,
     return;
   }
   if (verify_data(msg) && !store_.has(msg.id)) {
-    store_.insert(msg, sim_.now());  // reads, never relays
+    store_.insert(msg, env_.now());  // reads, never relays
   }
 }
 
@@ -278,7 +313,7 @@ void DelayedMuteAdversary::on_hello_tick() {
     return;
   }
   // Keep claiming the overlay role it honestly earned (or better).
-  table_.expire(sim_.now());
+  table_.expire(env_.now());
   active_ = true;
   dominator_ = true;
   send_packet(make_hello());
@@ -291,6 +326,15 @@ void DelayedMuteAdversary::on_gossip_tick() {
 // --------------------------------------------------------------------------
 // TransientMuteAdversary
 // --------------------------------------------------------------------------
+TransientMuteAdversary::TransientMuteAdversary(
+    net::Env& env, net::Transport& transport, const crypto::Pki& pki,
+    crypto::Signer signer, core::ProtocolConfig config,
+    stats::Metrics* metrics, des::SimDuration onset,
+    des::SimDuration duration)
+    : ByzcastNode(env, transport, pki, signer, config, metrics),
+      onset_(onset),
+      duration_(duration) {}
+
 TransientMuteAdversary::TransientMuteAdversary(
     des::Simulator& sim, radio::Radio& radio, const crypto::Pki& pki,
     crypto::Signer signer, core::ProtocolConfig config,
@@ -307,7 +351,7 @@ void TransientMuteAdversary::handle_data(const core::DataMsg& msg,
     return;
   }
   if (verify_data(msg) && !store_.has(msg.id)) {
-    store_.insert(msg, sim_.now());
+    store_.insert(msg, env_.now());
   }
 }
 
@@ -335,7 +379,7 @@ void TransientMuteAdversary::on_hello_tick() {
     ByzcastNode::on_hello_tick();
     return;
   }
-  table_.expire(sim_.now());
+  table_.expire(env_.now());
   active_ = true;
   dominator_ = true;
   send_packet(make_hello());
@@ -348,6 +392,15 @@ void TransientMuteAdversary::on_gossip_tick() {
 // --------------------------------------------------------------------------
 // HelloLiarAdversary
 // --------------------------------------------------------------------------
+HelloLiarAdversary::HelloLiarAdversary(net::Env& env,
+                                       net::Transport& transport,
+                                       const crypto::Pki& pki,
+                                       crypto::Signer signer,
+                                       core::ProtocolConfig config,
+                                       stats::Metrics* metrics, NodeId victim)
+    : ByzcastNode(env, transport, pki, signer, config, metrics),
+      victim_(victim) {}
+
 HelloLiarAdversary::HelloLiarAdversary(des::Simulator& sim,
                                        radio::Radio& radio,
                                        const crypto::Pki& pki,
@@ -358,7 +411,7 @@ HelloLiarAdversary::HelloLiarAdversary(des::Simulator& sim,
       victim_(victim) {}
 
 void HelloLiarAdversary::on_hello_tick() {
-  table_.expire(sim_.now());
+  table_.expire(env_.now());
   active_ = true;
   dominator_ = true;
   core::HelloMsg hello;
@@ -380,6 +433,15 @@ void HelloLiarAdversary::on_hello_tick() {
 // --------------------------------------------------------------------------
 // ReplayerAdversary
 // --------------------------------------------------------------------------
+ReplayerAdversary::ReplayerAdversary(net::Env& env, net::Transport& transport,
+                                     const crypto::Pki& pki,
+                                     crypto::Signer signer,
+                                     core::ProtocolConfig config,
+                                     stats::Metrics* metrics,
+                                     des::SimDuration replay_period)
+    : ByzcastNode(env, transport, pki, signer, config, metrics),
+      replay_timer_(env_, replay_period, [this] { replay(); }) {}
+
 ReplayerAdversary::ReplayerAdversary(des::Simulator& sim, radio::Radio& radio,
                                      const crypto::Pki& pki,
                                      crypto::Signer signer,
@@ -387,7 +449,7 @@ ReplayerAdversary::ReplayerAdversary(des::Simulator& sim, radio::Radio& radio,
                                      stats::Metrics* metrics,
                                      des::SimDuration replay_period)
     : ByzcastNode(sim, radio, pki, signer, config, metrics),
-      replay_timer_(sim, replay_period, [this] { replay(); }) {}
+      replay_timer_(env_, replay_period, [this] { replay(); }) {}
 
 void ReplayerAdversary::stop() {
   ByzcastNode::stop();
@@ -417,6 +479,56 @@ void ReplayerAdversary::replay() {
 }
 
 // --------------------------------------------------------------------------
+std::unique_ptr<core::ByzcastNode> make_adversary(
+    AdversaryKind kind, net::Env& env, net::Transport& transport,
+    const crypto::Pki& pki, crypto::Signer signer, core::ProtocolConfig config,
+    stats::Metrics* metrics, const AdversaryParams& params) {
+  switch (kind) {
+    case AdversaryKind::kNone:
+      return std::make_unique<core::ByzcastNode>(env, transport, pki, signer,
+                                                 config, metrics);
+    case AdversaryKind::kMute:
+      return std::make_unique<MuteAdversary>(env, transport, pki, signer,
+                                             config, metrics);
+    case AdversaryKind::kVerbose:
+      return std::make_unique<VerboseAdversary>(env, transport, pki, signer,
+                                                config, metrics,
+                                                params.action_period);
+    case AdversaryKind::kForger:
+      return std::make_unique<ForgerAdversary>(env, transport, pki, signer,
+                                               config, metrics,
+                                               des::millis(500),
+                                               params.victim);
+    case AdversaryKind::kLiar:
+      return std::make_unique<LiarAdversary>(env, transport, pki, signer,
+                                             config, metrics);
+    case AdversaryKind::kFakeGossiper:
+      return std::make_unique<FakeGossiperAdversary>(env, transport, pki,
+                                                     signer, config, metrics);
+    case AdversaryKind::kSelectiveForwarder:
+      return std::make_unique<SelectiveForwarder>(env, transport, pki, signer,
+                                                  config, metrics,
+                                                  params.forward_prob);
+    case AdversaryKind::kDelayedMute:
+      return std::make_unique<DelayedMuteAdversary>(env, transport, pki,
+                                                    signer, config, metrics,
+                                                    params.mute_onset);
+    case AdversaryKind::kTransientMute:
+      return std::make_unique<TransientMuteAdversary>(
+          env, transport, pki, signer, config, metrics, params.mute_onset,
+          params.mute_duration);
+    case AdversaryKind::kHelloLiar:
+      return std::make_unique<HelloLiarAdversary>(env, transport, pki, signer,
+                                                  config, metrics,
+                                                  params.victim);
+    case AdversaryKind::kReplayer:
+      return std::make_unique<ReplayerAdversary>(
+          env, transport, pki, signer, config, metrics,
+          std::max<des::SimDuration>(params.action_period, des::millis(50)));
+  }
+  throw std::invalid_argument("make_adversary: unknown kind");
+}
+
 std::unique_ptr<core::ByzcastNode> make_adversary(
     AdversaryKind kind, des::Simulator& sim, radio::Radio& radio,
     const crypto::Pki& pki, crypto::Signer signer, core::ProtocolConfig config,

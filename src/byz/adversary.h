@@ -74,6 +74,11 @@ class MuteAdversary final : public core::ByzcastNode {
 /// nodes burn airtime on retransmissions.
 class VerboseAdversary final : public core::ByzcastNode {
  public:
+  VerboseAdversary(net::Env& env, net::Transport& transport,
+                   const crypto::Pki& pki, crypto::Signer signer,
+                   core::ProtocolConfig config,
+                   stats::Metrics* metrics = nullptr,
+                   des::SimDuration spam_period = des::millis(5));
   VerboseAdversary(des::Simulator& sim, radio::Radio& radio,
                    const crypto::Pki& pki, crypto::Signer signer,
                    core::ProtocolConfig config,
@@ -84,7 +89,7 @@ class VerboseAdversary final : public core::ByzcastNode {
 
  private:
   void spam();
-  des::PeriodicTimer spam_timer_;
+  net::PeriodicTimer spam_timer_;
   std::vector<core::GossipEntry> known_entries_;
 
  protected:
@@ -96,6 +101,12 @@ class VerboseAdversary final : public core::ByzcastNode {
 /// the validity property's direct antagonist.
 class ForgerAdversary final : public core::ByzcastNode {
  public:
+  ForgerAdversary(net::Env& env, net::Transport& transport,
+                  const crypto::Pki& pki, crypto::Signer signer,
+                  core::ProtocolConfig config,
+                  stats::Metrics* metrics = nullptr,
+                  des::SimDuration forge_period = des::millis(500),
+                  NodeId victim = 0);
   ForgerAdversary(des::Simulator& sim, radio::Radio& radio,
                   const crypto::Pki& pki, crypto::Signer signer,
                   core::ProtocolConfig config,
@@ -107,7 +118,7 @@ class ForgerAdversary final : public core::ByzcastNode {
 
  private:
   void forge();
-  des::PeriodicTimer forge_timer_;
+  net::PeriodicTimer forge_timer_;
   NodeId victim_;
   std::uint32_t forged_seq_ = 1'000'000;  // away from real sequence space
 };
@@ -142,6 +153,11 @@ class FakeGossiperAdversary final : public core::ByzcastNode {
 /// `forward_prob` — a stealthier mute node.
 class SelectiveForwarder final : public core::ByzcastNode {
  public:
+  SelectiveForwarder(net::Env& env, net::Transport& transport,
+                     const crypto::Pki& pki, crypto::Signer signer,
+                     core::ProtocolConfig config,
+                     stats::Metrics* metrics = nullptr,
+                     double forward_prob = 0.3);
   SelectiveForwarder(des::Simulator& sim, radio::Radio& radio,
                      const crypto::Pki& pki, crypto::Signer signer,
                      core::ProtocolConfig config,
@@ -163,6 +179,10 @@ class SelectiveForwarder final : public core::ByzcastNode {
 /// needs: a correct baseline, a fault event, a detection, a recovery.
 class DelayedMuteAdversary final : public core::ByzcastNode {
  public:
+  DelayedMuteAdversary(net::Env& env, net::Transport& transport,
+                       const crypto::Pki& pki, crypto::Signer signer,
+                       core::ProtocolConfig config, stats::Metrics* metrics,
+                       des::SimDuration onset);
   DelayedMuteAdversary(des::Simulator& sim, radio::Radio& radio,
                        const crypto::Pki& pki, crypto::Signer signer,
                        core::ProtocolConfig config, stats::Metrics* metrics,
@@ -177,7 +197,7 @@ class DelayedMuteAdversary final : public core::ByzcastNode {
   void on_gossip_tick() override;
 
  private:
-  [[nodiscard]] bool faulty() const { return sim_.now() >= onset_; }
+  [[nodiscard]] bool faulty() const { return env_.now() >= onset_; }
   des::SimTime onset_;
 };
 
@@ -188,6 +208,10 @@ class DelayedMuteAdversary final : public core::ByzcastNode {
 /// aging mechanism).
 class TransientMuteAdversary final : public core::ByzcastNode {
  public:
+  TransientMuteAdversary(net::Env& env, net::Transport& transport,
+                         const crypto::Pki& pki, crypto::Signer signer,
+                         core::ProtocolConfig config, stats::Metrics* metrics,
+                         des::SimDuration onset, des::SimDuration duration);
   TransientMuteAdversary(des::Simulator& sim, radio::Radio& radio,
                          const crypto::Pki& pki, crypto::Signer signer,
                          core::ProtocolConfig config, stats::Metrics* metrics,
@@ -203,7 +227,7 @@ class TransientMuteAdversary final : public core::ByzcastNode {
 
  private:
   [[nodiscard]] bool faulty() const {
-    return sim_.now() >= onset_ && sim_.now() < onset_ + duration_;
+    return env_.now() >= onset_ && env_.now() < onset_ + duration_;
   }
   des::SimTime onset_;
   des::SimDuration duration_;
@@ -216,6 +240,10 @@ class TransientMuteAdversary final : public core::ByzcastNode {
 /// and mark the victim "unknown"; it cannot partition correct nodes.
 class HelloLiarAdversary final : public core::ByzcastNode {
  public:
+  HelloLiarAdversary(net::Env& env, net::Transport& transport,
+                     const crypto::Pki& pki, crypto::Signer signer,
+                     core::ProtocolConfig config, stats::Metrics* metrics,
+                     NodeId victim);
   HelloLiarAdversary(des::Simulator& sim, radio::Radio& radio,
                      const crypto::Pki& pki, crypto::Signer signer,
                      core::ProtocolConfig config, stats::Metrics* metrics,
@@ -233,6 +261,10 @@ class HelloLiarAdversary final : public core::ByzcastNode {
 /// property is its direct antagonist (accepted ids outlive purging).
 class ReplayerAdversary final : public core::ByzcastNode {
  public:
+  ReplayerAdversary(net::Env& env, net::Transport& transport,
+                    const crypto::Pki& pki, crypto::Signer signer,
+                    core::ProtocolConfig config, stats::Metrics* metrics,
+                    des::SimDuration replay_period);
   ReplayerAdversary(des::Simulator& sim, radio::Radio& radio,
                     const crypto::Pki& pki, crypto::Signer signer,
                     core::ProtocolConfig config, stats::Metrics* metrics,
@@ -245,12 +277,22 @@ class ReplayerAdversary final : public core::ByzcastNode {
 
  private:
   void replay();
-  des::PeriodicTimer replay_timer_;
+  net::PeriodicTimer replay_timer_;
   std::vector<core::DataMsg> recorded_;
 };
 
-/// Constructs a node with the requested behaviour. Honest nodes get a
-/// plain ByzcastNode.
+/// Constructs a node with the requested behaviour against an explicit
+/// Env/Transport pair (any backend). Honest nodes get a plain
+/// ByzcastNode.
+std::unique_ptr<core::ByzcastNode> make_adversary(
+    AdversaryKind kind, net::Env& env, net::Transport& transport,
+    const crypto::Pki& pki, crypto::Signer signer,
+    core::ProtocolConfig config, stats::Metrics* metrics = nullptr,
+    const AdversaryParams& params = {});
+
+/// Deprecated DES-only overload: routes through the ByzcastNode
+/// (Simulator&, Radio&) shims so existing simulator call sites compile
+/// unchanged.
 std::unique_ptr<core::ByzcastNode> make_adversary(
     AdversaryKind kind, des::Simulator& sim, radio::Radio& radio,
     const crypto::Pki& pki, crypto::Signer signer,

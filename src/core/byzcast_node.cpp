@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/sim_backend.h"
 #include "overlay/cds_overlay.h"
 #include "overlay/misb_overlay.h"
 #include "util/log.h"
@@ -44,25 +45,25 @@ std::unique_ptr<overlay::OverlayRule> make_overlay_rule(
   return std::make_unique<overlay::CdsOverlay>();
 }
 
-ByzcastNode::ByzcastNode(des::Simulator& sim, radio::Radio& radio,
+ByzcastNode::ByzcastNode(net::Env& env, net::Transport& transport,
                          const crypto::Pki& pki, crypto::Signer signer,
                          ProtocolConfig config, stats::Metrics* metrics)
-    : sim_(sim),
-      radio_(radio),
+    : env_(env),
+      transport_(transport),
       pki_(pki),
       signer_(signer),
       config_(config),
       metrics_(metrics),
-      rng_(sim.split_rng()),
+      rng_(env.split_rng()),
       gossip_queue_(config.gossip_queue),
       table_(config.neighbor_timeout),
-      mute_(sim, config.mute),
-      verbose_(sim, config.verbose),
-      trust_(sim, config.trust),
+      mute_(env, config.mute),
+      verbose_(env, config.verbose),
+      trust_(env, config.trust),
       overlay_rule_(make_overlay_rule(config.overlay_kind)),
-      gossip_timer_(sim, config.gossip_period, [this] { on_gossip_tick(); }),
-      hello_timer_(sim, config.hello_period, [this] { on_hello_tick(); }) {
-  radio_.set_receive_handler(
+      gossip_timer_(env, config.gossip_period, [this] { on_gossip_tick(); }),
+      hello_timer_(env, config.hello_period, [this] { on_hello_tick(); }) {
+  transport_.set_receive_handler(
       [this](const radio::Frame& frame) { on_frame(frame); });
   // FD wiring (Figure 1): MUTE and VERBOSE report into TRUST.
   mute_.set_on_suspect(
@@ -89,12 +90,25 @@ ByzcastNode::ByzcastNode(des::Simulator& sim, radio::Radio& radio,
     };
     hooks.trace = [this](trace::EventKind kind, NodeId peer, MessageId mid,
                          std::uint64_t a) { trace_event(kind, peer, mid, a); };
-    sync_ = std::make_unique<sync::SyncManager>(sim, id(), pki, signer_,
+    sync_ = std::make_unique<sync::SyncManager>(env, id(), pki, signer_,
                                                 store_, config_.sync,
                                                 std::move(hooks),
-                                                sim.split_rng());
+                                                env.split_rng());
   }
 }
+
+ByzcastNode::ByzcastNode(std::unique_ptr<net::Transport> owned, net::Env& env,
+                         const crypto::Pki& pki, crypto::Signer signer,
+                         ProtocolConfig config, stats::Metrics* metrics)
+    : ByzcastNode(env, *owned, pki, signer, config, metrics) {
+  owned_transport_ = std::move(owned);
+}
+
+ByzcastNode::ByzcastNode(des::Simulator& sim, radio::Radio& radio,
+                         const crypto::Pki& pki, crypto::Signer signer,
+                         ProtocolConfig config, stats::Metrics* metrics)
+    : ByzcastNode(std::make_unique<net::SimTransport>(radio), sim, pki, signer,
+                  config, metrics) {}
 
 void ByzcastNode::start() {
   running_ = true;
@@ -195,7 +209,7 @@ void ByzcastNode::send_frame(stats::MsgKind kind, util::Buffer bytes,
     }
     if (recovery) metrics_->on_recovery_bytes(bytes.size());
   }
-  radio_.send(std::move(bytes));
+  transport_.send(std::move(bytes));
 }
 
 bool ByzcastNode::verify_data(const DataMsg& msg) const {
@@ -223,11 +237,11 @@ void ByzcastNode::broadcast(std::vector<std::uint8_t> payload) {
   msg.wire = serialize(msg);  // one serialization; the store and the
                               // radio share these bytes from here on
 
-  store_.insert(msg, sim_.now());
+  store_.insert(msg, env_.now());
   store_.mark_accepted(mid);  // we never re-accept our own message
   store_.mark_gossip_seen(mid);
   if (metrics_ != nullptr) {
-    metrics_->on_broadcast(stats::MessageKey{mid.origin, mid.seq}, sim_.now(),
+    metrics_->on_broadcast(stats::MessageKey{mid.origin, mid.seq}, env_.now(),
                            targets_);
   }
   trace_event(trace::EventKind::kBroadcast, kInvalidNode, mid);
@@ -283,7 +297,7 @@ void ByzcastNode::handle_data(const DataMsg& msg, NodeId from) {
 
   if (MessageStore::Stored* stored = store_.find(msg.id);
       stored != nullptr) {  // line 25: duplicate, ignore
-    stored->last_seen = sim_.now();  // but note the fresh copy on the air
+    stored->last_seen = env_.now();  // but note the fresh copy on the air
     return;
   }
 
@@ -295,14 +309,14 @@ void ByzcastNode::handle_data(const DataMsg& msg, NodeId from) {
 }
 
 void ByzcastNode::accept_and_forward(const DataMsg& msg, NodeId from) {
-  store_.insert(msg, sim_.now());
+  store_.insert(msg, env_.now());
   store_.mark_gossip_seen(msg.id);  // DATA piggybacks the gossip (footnote 5)
 
   if (store_.mark_accepted(msg.id)) {  // line 7: Accept(p_i, p_j, message)
     trace_event(trace::EventKind::kAccept, from, msg.id);
     if (metrics_ != nullptr) {
       metrics_->on_accept(stats::MessageKey{msg.id.origin, msg.id.seq}, id(),
-                          sim_.now());
+                          env_.now());
     }
     if (accept_handler_) accept_handler_(msg.id, msg.payload);
   }
@@ -343,7 +357,7 @@ void ByzcastNode::accept_and_forward(const DataMsg& msg, NodeId from) {
 }
 
 void ByzcastNode::admit_synced(const DataMsg& msg, NodeId from) {
-  store_.insert(msg, sim_.now());
+  store_.insert(msg, env_.now());
   store_.mark_gossip_seen(msg.id);
   // No forward, no lazycast: everyone else already has this message —
   // that is exactly why a frontier could advertise it. Re-flooding the
@@ -355,7 +369,7 @@ void ByzcastNode::admit_synced(const DataMsg& msg, NodeId from) {
     trace_event(trace::EventKind::kAccept, from, msg.id);
     if (metrics_ != nullptr) {
       metrics_->on_accept(stats::MessageKey{msg.id.origin, msg.id.seq}, id(),
-                          sim_.now());
+                          env_.now());
     }
     if (accept_handler_) accept_handler_(msg.id, msg.payload);
   }
@@ -414,7 +428,7 @@ void ByzcastNode::handle_gossip(const GossipMsg& msg, NodeId from) {
     fresh_entry.entry = entry;
     fresh_entry.gossipers = {from};
     fresh_entry.backoff = sync::Backoff(config_.request_backoff);
-    fresh_entry.first_heard = sim_.now();
+    fresh_entry.first_heard = env_.now();
     auto [pending, fresh] =
         pending_missing_.emplace(entry.id, std::move(fresh_entry));
     if (fresh) {
@@ -433,16 +447,16 @@ void ByzcastNode::handle_gossip(const GossipMsg& msg, NodeId from) {
     }
     auto it = last_request_.find(entry.id);
     if (it != last_request_.end() &&
-        sim_.now() - it->second < config_.request_retry) {
+        env_.now() - it->second < config_.request_retry) {
       continue;  // a request for this id is already in flight
     }
-    last_request_[entry.id] = sim_.now();
+    last_request_[entry.id] = env_.now();
     // Ask p_j and our overlay neighbours after request_timeout (gives the
     // in-flight DATA a chance to arrive first). The line-28 expectation on
     // the gossiper is armed together with the request: the gossiper's
     // obligation is to *supply on demand*, and anyone delivering the
     // message discharges it (Satisfy::kAnySender).
-    sim_.schedule_after(config_.request_timeout,
+    env_.schedule_after(config_.request_timeout,
                         [this, entry, from, epoch = incarnation_] {
       if (epoch != incarnation_ || !running_) return;  // crashed since armed
       if (store_.has(entry.id)) return;
@@ -489,8 +503,8 @@ void ByzcastNode::handle_request(const RequestMsg& msg, NodeId from) {
       // would fan out its own two-hop flood.
       auto it = last_find_issued_.find(msg.entry.id);
       if (it == last_find_issued_.end() ||
-          sim_.now() - it->second >= config_.request_retry) {
-        last_find_issued_[msg.entry.id] = sim_.now();
+          env_.now() - it->second >= config_.request_retry) {
+        last_find_issued_[msg.entry.id] = env_.now();
         trace_event(trace::EventKind::kFindIssued, msg.target, msg.entry.id);
         send_packet(FindMissingMsg{msg.entry, msg.target, id(),
                                    config_.find_ttl});
@@ -522,10 +536,10 @@ void ByzcastNode::handle_find(const FindMissingMsg& msg, NodeId from) {
       auto key = std::make_pair(msg.entry.id, msg.issuer);
       auto it = forwarded_finds_.find(key);
       if (it != forwarded_finds_.end() &&
-          sim_.now() - it->second < config_.request_retry) {
+          env_.now() - it->second < config_.request_retry) {
         return;
       }
-      forwarded_finds_[key] = sim_.now();
+      forwarded_finds_[key] = env_.now();
       FindMissingMsg fwd = msg;
       fwd.ttl = 1;
       send_packet(fwd);
@@ -549,11 +563,11 @@ void ByzcastNode::reply_with_stored(const MessageId& id_, std::uint8_t ttl) {
   MessageStore::Stored* stored = store_.find(id_);
   if (stored == nullptr) return;
   if ((stored->last_reply != 0 &&
-       sim_.now() - stored->last_reply < config_.reply_suppress) ||
-      sim_.now() - stored->last_seen < config_.reply_suppress) {
+       env_.now() - stored->last_reply < config_.reply_suppress) ||
+      env_.now() - stored->last_seen < config_.reply_suppress) {
     return;  // a copy is already (or still) on the air
   }
-  stored->last_reply = sim_.now();
+  stored->last_reply = env_.now();
   trace_event(trace::EventKind::kRetransmission, kInvalidNode, id_);
   send_frame(stats::MsgKind::kData, stored->wire(ttl), /*recovery=*/true);
 }
@@ -575,7 +589,7 @@ void ByzcastNode::handle_hello(const HelloMsg& msg, NodeId from) {
   verbose_.observe(header, from);
 
   table_.record(from, msg.active, msg.dominator, msg.neighbors,
-                msg.dominator_neighbors, sim_.now(), msg.stability);
+                msg.dominator_neighbors, env_.now(), msg.stability);
   if (config_.trust_propagation) {
     for (NodeId suspectee : msg.suspects) {
       if (suspectee == id()) continue;
@@ -612,15 +626,15 @@ void ByzcastNode::on_hello_tick() {
   // MUTE expectations still armed on them so a node that is simply gone
   // does not keep accruing misses (Observation 3.4). Its existing
   // suspicion still ages out on its own.
-  for (NodeId expired : table_.expire(sim_.now())) {
+  for (NodeId expired : table_.expire(env_.now())) {
     mute_.forget(expired);
   }
   // The timeout purge always runs: under kStability it is the hard upper
   // bound a Byzantine neighbour cannot extend by under-reporting its
   // stability prefix forever.
-  store_.purge(sim_.now(), config_.purge_timeout);
+  store_.purge(env_.now(), config_.purge_timeout);
   if (config_.purge_policy == PurgePolicy::kStability) {
-    store_.purge_if(sim_.now(), config_.stability_min_age,
+    store_.purge_if(env_.now(), config_.stability_min_age,
                     [this](const MessageId& mid) {
                       const auto& entries = table_.entries();
                       if (entries.empty()) return false;
@@ -691,7 +705,7 @@ void ByzcastNode::retry_pending_requests() {
   for (auto it = pending_missing_.begin(); it != pending_missing_.end();) {
     PendingMissing& pending = it->second;
     if (store_.has(it->first) || pending.backoff.exhausted() ||
-        sim_.now() - pending.first_heard > config_.purge_timeout) {
+        env_.now() - pending.first_heard > config_.purge_timeout) {
       it = pending_missing_.erase(it);
       continue;
     }
@@ -703,8 +717,8 @@ void ByzcastNode::retry_pending_requests() {
     auto last = last_request_.find(it->first);
     des::SimTime last_at =
         last == last_request_.end() ? pending.first_heard : last->second;
-    if (sim_.now() - last_at >= pending.next_delay) {
-      last_request_[it->first] = sim_.now();
+    if (env_.now() - last_at >= pending.next_delay) {
+      last_request_[it->first] = env_.now();
       NodeId target =
           pending.gossipers[pending.next_target % pending.gossipers.size()];
       ++pending.next_target;

@@ -30,7 +30,9 @@
 #include "core/message_store.h"
 #include "crypto/signature.h"
 #include "des/simulator.h"
-#include "des/timer.h"
+#include "net/env.h"
+#include "net/timer.h"
+#include "net/transport.h"
 #include "fd/mute_fd.h"
 #include "fd/trust_fd.h"
 #include "fd/verbose_fd.h"
@@ -51,8 +53,19 @@ class ByzcastNode : public obs::GaugeSource {
   using AcceptHandler =
       std::function<void(const MessageId&, std::span<const std::uint8_t>)>;
 
-  /// `radio` and `pki` must outlive the node. Installs itself as the
-  /// radio's receive handler.
+  /// `env`, `transport` and `pki` must outlive the node. Installs itself
+  /// as the transport's receive handler. This is the primary constructor:
+  /// the node is backend-agnostic and runs identically over the DES
+  /// (des::Simulator + net::SimTransport) and live sockets (net::IoLoop +
+  /// net::UdpTransport).
+  ByzcastNode(net::Env& env, net::Transport& transport, const crypto::Pki& pki,
+              crypto::Signer signer, ProtocolConfig config,
+              stats::Metrics* metrics = nullptr);
+
+  /// Deprecated DES-only shim: wraps `radio` in an owned net::SimTransport
+  /// and delegates. Kept so the large existing fleet of simulator call
+  /// sites (network builder, tests, benches) compiles unchanged; new code
+  /// should use the Env/Transport constructor.
   ByzcastNode(des::Simulator& sim, radio::Radio& radio,
               const crypto::Pki& pki, crypto::Signer signer,
               ProtocolConfig config, stats::Metrics* metrics = nullptr);
@@ -177,12 +190,12 @@ class ByzcastNode : public obs::GaugeSource {
   void trace_event(trace::EventKind kind, NodeId peer = kInvalidNode,
                    MessageId id = {}, std::uint64_t a = 0) {
     if (trace_ == nullptr) return;
-    trace_->record(trace::Event{sim_.now(), kind, signer_.id(), peer,
+    trace_->record(trace::Event{env_.now(), kind, signer_.id(), peer,
                                 id.origin, id.seq, a});
   }
 
-  des::Simulator& sim_;
-  radio::Radio& radio_;
+  net::Env& env_;
+  net::Transport& transport_;
   const crypto::Pki& pki_;
   crypto::Signer signer_;
   ProtocolConfig config_;
@@ -210,8 +223,8 @@ class ByzcastNode : public obs::GaugeSource {
   std::size_t targets_ = 0;
   std::uint32_t next_seq_ = 0;
 
-  des::PeriodicTimer gossip_timer_;
-  des::PeriodicTimer hello_timer_;
+  net::PeriodicTimer gossip_timer_;
+  net::PeriodicTimer hello_timer_;
 
   // Recovery bookkeeping: last REQUEST time per missing id, FINDs already
   // relayed (per (id, issuer)) and issued (per id) to stop relay storms,
@@ -244,6 +257,14 @@ class ByzcastNode : public obs::GaugeSource {
   };
   std::map<MessageId, PendingMissing> pending_missing_;
   void retry_pending_requests();
+  /// Delegation target of the deprecated shim: runs the primary
+  /// constructor against *owned, then takes ownership of it.
+  ByzcastNode(std::unique_ptr<net::Transport> owned, net::Env& env,
+              const crypto::Pki& pki, crypto::Signer signer,
+              ProtocolConfig config, stats::Metrics* metrics);
+  /// Backing transport for the deprecated (Simulator&, Radio&) shim;
+  /// null when the caller supplied the transport.
+  std::unique_ptr<net::Transport> owned_transport_;
   /// Range-sync session endpoint (DESIGN.md §11); allocated only when
   /// config_.sync.enabled.
   std::unique_ptr<sync::SyncManager> sync_;

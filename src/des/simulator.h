@@ -4,6 +4,11 @@
 // schedule further events. Components receive a `Simulator&` and own Rng
 // streams split from the root seed, so a (seed, scenario) pair fully
 // determines a run.
+//
+// The simulator *is* a net::Env (DESIGN.md §13): protocol components
+// written against Env& run over the event queue with no adapter object in
+// between, so porting them changes the static type of their clock calls
+// but never the order of queue inserts — the determinism contract holds.
 #pragma once
 
 #include <cstdint>
@@ -13,10 +18,11 @@
 #include "des/event_queue.h"
 #include "des/rng.h"
 #include "des/time.h"
+#include "net/env.h"
 
 namespace byzcast::des {
 
-class Simulator {
+class Simulator final : public net::Env {
  public:
   explicit Simulator(std::uint64_t seed,
                      EventQueue::Backend backend = EventQueue::Backend::kHybrid)
@@ -26,10 +32,11 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time.
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const override { return now_; }
 
   /// Schedules `action` after `delay`. Returns a cancellation handle.
-  EventId schedule_after(SimDuration delay, std::function<void()> action) {
+  EventId schedule_after(SimDuration delay,
+                         std::function<void()> action) override {
     return queue_.schedule(now_ + delay, std::move(action));
   }
 
@@ -42,7 +49,7 @@ class Simulator {
   }
 
   /// Cancels a pending event; false if it already fired or was cancelled.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) override { return queue_.cancel(id); }
 
   /// Runs events until the queue drains or `deadline` is passed. The clock
   /// is left at min(deadline, time of last event). Returns the number of
@@ -59,7 +66,7 @@ class Simulator {
   }
 
   /// Derives an independent RNG stream for one component.
-  Rng split_rng() { return root_rng_.split(); }
+  Rng split_rng() override { return root_rng_.split(); }
 
  private:
   EventQueue queue_;

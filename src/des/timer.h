@@ -1,95 +1,18 @@
 // RAII timers on top of the Simulator.
 //
-// PeriodicTimer re-arms itself each tick until stopped or destroyed;
-// OneShotTimer fires once and can be restarted. Both cancel automatically
-// on destruction so a component that dies mid-run cannot leave a dangling
-// callback into freed memory — a classic DES use-after-free source.
+// The implementations live in net/timer.h, written against net::Env so
+// the same timers drive both the DES (virtual time) and the live IoLoop
+// (wall time). Since Simulator is an Env, every existing `des::
+// PeriodicTimer t(sim, ...)` call site compiles unchanged through these
+// aliases.
 #pragma once
 
-#include <functional>
-#include <utility>
-
 #include "des/simulator.h"
+#include "net/timer.h"
 
 namespace byzcast::des {
 
-class PeriodicTimer {
- public:
-  PeriodicTimer(Simulator& sim, SimDuration period, std::function<void()> tick)
-      : sim_(sim), period_(period), tick_(std::move(tick)) {}
-
-  PeriodicTimer(const PeriodicTimer&) = delete;
-  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
-  ~PeriodicTimer() { stop(); }
-
-  /// Arms the timer; first tick fires after `initial_delay` (defaults to
-  /// one period). Restarting an armed timer resets the phase.
-  void start(SimDuration initial_delay) {
-    stop();
-    running_ = true;
-    arm(initial_delay);
-  }
-  void start() { start(period_); }
-
-  void stop() {
-    if (event_ != 0) {
-      sim_.cancel(event_);
-      event_ = 0;
-    }
-    running_ = false;
-  }
-
-  [[nodiscard]] bool running() const { return running_; }
-  [[nodiscard]] SimDuration period() const { return period_; }
-
- private:
-  void arm(SimDuration delay) {
-    event_ = sim_.schedule_after(delay, [this] {
-      event_ = 0;
-      // Re-arm before the callback so tick_ may stop() the timer.
-      arm(period_);
-      tick_();
-    });
-  }
-
-  Simulator& sim_;
-  SimDuration period_;
-  std::function<void()> tick_;
-  EventId event_ = 0;
-  bool running_ = false;
-};
-
-class OneShotTimer {
- public:
-  explicit OneShotTimer(Simulator& sim) : sim_(sim) {}
-  OneShotTimer(const OneShotTimer&) = delete;
-  OneShotTimer& operator=(const OneShotTimer&) = delete;
-  ~OneShotTimer() { cancel(); }
-
-  /// (Re)arms the timer to fire `fire` after `delay`; any pending firing
-  /// is cancelled first.
-  void arm(SimDuration delay, std::function<void()> fire) {
-    cancel();
-    fire_ = std::move(fire);
-    event_ = sim_.schedule_after(delay, [this] {
-      event_ = 0;
-      fire_();
-    });
-  }
-
-  void cancel() {
-    if (event_ != 0) {
-      sim_.cancel(event_);
-      event_ = 0;
-    }
-  }
-
-  [[nodiscard]] bool pending() const { return event_ != 0; }
-
- private:
-  Simulator& sim_;
-  std::function<void()> fire_;
-  EventId event_ = 0;
-};
+using PeriodicTimer = net::PeriodicTimer;
+using OneShotTimer = net::OneShotTimer;
 
 }  // namespace byzcast::des

@@ -4,10 +4,10 @@
 
 namespace byzcast::fd {
 
-MuteFd::MuteFd(des::Simulator& sim, MuteFdConfig config)
-    : sim_(sim),
+MuteFd::MuteFd(net::Env& env, MuteFdConfig config)
+    : env_(env),
       config_(config),
-      aging_timer_(sim, config.aging_period, [this] { age_counters(); }) {
+      aging_timer_(env, config.aging_period, [this] { age_counters(); }) {
   aging_timer_.start();
 }
 
@@ -24,7 +24,7 @@ void MuteFd::expect(HeaderPattern pattern, std::vector<NodeId> nodes,
   expectations_.push_back(
       Expectation{pattern, std::move(nodes), mode, satisfy, /*timeout=*/0});
   auto handle = std::prev(expectations_.end());
-  handle->timeout = sim_.schedule_after(config_.expect_timeout,
+  handle->timeout = env_.schedule_after(config_.expect_timeout,
                                         [this, handle] { on_timeout(handle); });
 }
 
@@ -39,7 +39,7 @@ void MuteFd::observe(const MessageHeader& header, NodeId from) {
       if (it->satisfy == Satisfy::kAnySender) {
         // The awaited message arrived (from someone else): the listed
         // nodes are off the hook.
-        sim_.cancel(it->timeout);
+        env_.cancel(it->timeout);
         it = expectations_.erase(it);
         continue;
       }
@@ -54,7 +54,7 @@ void MuteFd::observe(const MessageHeader& header, NodeId from) {
       satisfied = it->outstanding.empty();
     }
     if (satisfied) {
-      sim_.cancel(it->timeout);
+      env_.cancel(it->timeout);
       it = expectations_.erase(it);
     } else {
       ++it;
@@ -71,7 +71,7 @@ void MuteFd::record_miss(NodeId node) {
   int count = ++miss_count_[node];
   if (count < config_.suspicion_threshold) return;
   bool newly = !suspected(node);
-  suspected_until_[node] = sim_.now() + config_.suspicion_interval;
+  suspected_until_[node] = env_.now() + config_.suspicion_interval;
   if (newly && on_suspect_) on_suspect_(node);
 }
 
@@ -86,7 +86,7 @@ void MuteFd::age_counters() {
   // Expired suspicions are garbage-collected here; suspected() already
   // treats them as cleared.
   for (auto it = suspected_until_.begin(); it != suspected_until_.end();) {
-    if (it->second <= sim_.now()) {
+    if (it->second <= env_.now()) {
       it = suspected_until_.erase(it);
     } else {
       ++it;
@@ -96,20 +96,20 @@ void MuteFd::age_counters() {
 
 bool MuteFd::suspected(NodeId node) const {
   auto it = suspected_until_.find(node);
-  return it != suspected_until_.end() && it->second > sim_.now();
+  return it != suspected_until_.end() && it->second > env_.now();
 }
 
 std::vector<NodeId> MuteFd::suspects() const {
   std::vector<NodeId> out;
   for (const auto& [node, until] : suspected_until_) {
-    if (until > sim_.now()) out.push_back(node);
+    if (until > env_.now()) out.push_back(node);
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 void MuteFd::reset() {
-  for (Expectation& e : expectations_) sim_.cancel(e.timeout);
+  for (Expectation& e : expectations_) env_.cancel(e.timeout);
   expectations_.clear();
   miss_count_.clear();
   suspected_until_.clear();
@@ -121,7 +121,7 @@ void MuteFd::forget(NodeId node) {
     if (pos != it->outstanding.end()) {
       it->outstanding.erase(pos);
       if (it->outstanding.empty()) {
-        sim_.cancel(it->timeout);
+        env_.cancel(it->timeout);
         it = expectations_.erase(it);
         continue;
       }

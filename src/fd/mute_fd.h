@@ -18,8 +18,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "des/simulator.h"
-#include "des/timer.h"
+#include "net/env.h"
+#include "net/timer.h"
 #include "fd/fd_types.h"
 
 namespace byzcast::fd {
@@ -47,7 +47,7 @@ class MuteFd {
   enum class Satisfy : std::uint8_t { kListedOnly, kAnySender };
   using SuspectCallback = std::function<void(NodeId)>;
 
-  MuteFd(des::Simulator& sim, MuteFdConfig config);
+  MuteFd(net::Env& env, MuteFdConfig config);
 
   /// Figure 2: expect(message header, set of nodes, one-or-all).
   /// Ignores empty node sets.
@@ -83,7 +83,7 @@ class MuteFd {
     std::vector<NodeId> outstanding;
     Mode mode = Mode::kOne;
     Satisfy satisfy = Satisfy::kListedOnly;
-    des::EventId timeout = 0;
+    net::TimerId timeout = 0;
   };
   using ExpectationHandle = std::list<Expectation>::iterator;
 
@@ -91,13 +91,13 @@ class MuteFd {
   void record_miss(NodeId node);
   void age_counters();
 
-  des::Simulator& sim_;
+  net::Env& env_;
   MuteFdConfig config_;
   std::list<Expectation> expectations_;
   std::unordered_map<NodeId, int> miss_count_;
   std::unordered_map<NodeId, des::SimTime> suspected_until_;
   SuspectCallback on_suspect_;
-  des::PeriodicTimer aging_timer_;
+  net::PeriodicTimer aging_timer_;
 };
 
 }  // namespace byzcast::fd

@@ -21,7 +21,7 @@ const char* suspicion_reason_name(SuspicionReason reason) {
 void TrustFd::suspect(NodeId node, SuspicionReason reason) {
   ++reason_counts_[static_cast<std::size_t>(reason)];
   bool newly = level(node) != TrustLevel::kUntrusted;
-  untrusted_until_[node] = sim_.now() + config_.suspicion_interval;
+  untrusted_until_[node] = env_.now() + config_.suspicion_interval;
   if (newly && on_change_) on_change_(node, TrustLevel::kUntrusted);
 }
 
@@ -30,16 +30,16 @@ void TrustFd::neighbor_report(NodeId reporter, NodeId about) {
   // suspects either q or r".
   if (level(reporter) == TrustLevel::kUntrusted) return;
   if (level(about) == TrustLevel::kUntrusted) return;
-  reported_until_[about] = sim_.now() + config_.report_interval;
+  reported_until_[about] = env_.now() + config_.report_interval;
 }
 
 TrustLevel TrustFd::level(NodeId node) const {
   auto direct = untrusted_until_.find(node);
-  if (direct != untrusted_until_.end() && direct->second > sim_.now()) {
+  if (direct != untrusted_until_.end() && direct->second > env_.now()) {
     return TrustLevel::kUntrusted;
   }
   auto reported = reported_until_.find(node);
-  if (reported != reported_until_.end() && reported->second > sim_.now()) {
+  if (reported != reported_until_.end() && reported->second > env_.now()) {
     return TrustLevel::kUnknown;
   }
   return TrustLevel::kTrusted;
@@ -48,7 +48,7 @@ TrustLevel TrustFd::level(NodeId node) const {
 std::vector<NodeId> TrustFd::untrusted() const {
   std::vector<NodeId> out;
   for (const auto& [node, until] : untrusted_until_) {
-    if (until > sim_.now()) out.push_back(node);
+    if (until > env_.now()) out.push_back(node);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -61,11 +61,11 @@ std::uint64_t TrustFd::suspicion_events(SuspicionReason reason) const {
 void TrustFd::poll_gauges(obs::GaugeVisitor& visitor) const {
   std::int64_t live_untrusted = 0;
   for (const auto& [node, until] : untrusted_until_) {
-    if (until > sim_.now()) ++live_untrusted;
+    if (until > env_.now()) ++live_untrusted;
   }
   std::int64_t live_reported = 0;
   for (const auto& [node, until] : reported_until_) {
-    if (until > sim_.now()) ++live_reported;
+    if (until > env_.now()) ++live_reported;
   }
   visitor.gauge("untrusted", live_untrusted);
   visitor.gauge("reported", live_reported);

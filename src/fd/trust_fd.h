@@ -20,7 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "des/simulator.h"
+#include "net/env.h"
 #include "fd/fd_types.h"
 #include "obs/gauge.h"
 
@@ -37,8 +37,8 @@ class TrustFd : public obs::GaugeSource {
  public:
   using ChangeCallback = std::function<void(NodeId, TrustLevel)>;
 
-  TrustFd(des::Simulator& sim, TrustFdConfig config)
-      : sim_(sim), config_(config) {}
+  TrustFd(net::Env& env, TrustFdConfig config)
+      : env_(env), config_(config) {}
 
   /// Figure 2: suspect(node id, suspicion reason).
   void suspect(NodeId node, SuspicionReason reason);
@@ -70,7 +70,7 @@ class TrustFd : public obs::GaugeSource {
   void poll_gauges(obs::GaugeVisitor& visitor) const override;
 
  private:
-  des::Simulator& sim_;
+  net::Env& env_;
   TrustFdConfig config_;
   std::unordered_map<NodeId, des::SimTime> untrusted_until_;
   std::unordered_map<NodeId, des::SimTime> reported_until_;

@@ -4,10 +4,10 @@
 
 namespace byzcast::fd {
 
-VerboseFd::VerboseFd(des::Simulator& sim, VerboseFdConfig config)
-    : sim_(sim),
+VerboseFd::VerboseFd(net::Env& env, VerboseFdConfig config)
+    : env_(env),
       config_(config),
-      aging_timer_(sim, config.aging_period, [this] { age_counters(); }) {
+      aging_timer_(env, config.aging_period, [this] { age_counters(); }) {
   aging_timer_.start();
 }
 
@@ -19,7 +19,7 @@ void VerboseFd::indict(NodeId node) {
   int count = ++indictments_[node];
   if (count < config_.suspicion_threshold) return;
   bool newly = !suspected(node);
-  suspected_until_[node] = sim_.now() + config_.suspicion_interval;
+  suspected_until_[node] = env_.now() + config_.suspicion_interval;
   if (newly && on_suspect_) on_suspect_(node);
 }
 
@@ -28,10 +28,10 @@ void VerboseFd::observe(const MessageHeader& header, NodeId from) {
   if (rule == min_spacing_.end()) return;
   std::uint64_t key =
       (static_cast<std::uint64_t>(from) << 8) | header.type;
-  auto [it, first_time] = last_arrival_.emplace(key, sim_.now());
+  auto [it, first_time] = last_arrival_.emplace(key, env_.now());
   if (!first_time) {
-    if (sim_.now() - it->second < rule->second) indict(from);
-    it->second = sim_.now();
+    if (env_.now() - it->second < rule->second) indict(from);
+    it->second = env_.now();
   }
 }
 
@@ -44,7 +44,7 @@ void VerboseFd::age_counters() {
     }
   }
   for (auto it = suspected_until_.begin(); it != suspected_until_.end();) {
-    if (it->second <= sim_.now()) {
+    if (it->second <= env_.now()) {
       it = suspected_until_.erase(it);
     } else {
       ++it;
@@ -54,13 +54,13 @@ void VerboseFd::age_counters() {
 
 bool VerboseFd::suspected(NodeId node) const {
   auto it = suspected_until_.find(node);
-  return it != suspected_until_.end() && it->second > sim_.now();
+  return it != suspected_until_.end() && it->second > env_.now();
 }
 
 std::vector<NodeId> VerboseFd::suspects() const {
   std::vector<NodeId> out;
   for (const auto& [node, until] : suspected_until_) {
-    if (until > sim_.now()) out.push_back(node);
+    if (until > env_.now()) out.push_back(node);
   }
   std::sort(out.begin(), out.end());
   return out;

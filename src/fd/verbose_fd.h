@@ -17,8 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "des/simulator.h"
-#include "des/timer.h"
+#include "net/env.h"
+#include "net/timer.h"
 #include "fd/fd_types.h"
 
 namespace byzcast::fd {
@@ -36,7 +36,7 @@ class VerboseFd {
  public:
   using SuspectCallback = std::function<void(NodeId)>;
 
-  VerboseFd(des::Simulator& sim, VerboseFdConfig config);
+  VerboseFd(net::Env& env, VerboseFdConfig config);
 
   /// Init-time: messages of `type` from one node arriving closer together
   /// than `spacing` count as an indictment each.
@@ -62,7 +62,7 @@ class VerboseFd {
  private:
   void age_counters();
 
-  des::Simulator& sim_;
+  net::Env& env_;
   VerboseFdConfig config_;
   std::unordered_map<std::uint8_t, des::SimDuration> min_spacing_;
   // (node, type) -> last arrival time, for the spacing rule.
@@ -70,7 +70,7 @@ class VerboseFd {
   std::unordered_map<NodeId, int> indictments_;
   std::unordered_map<NodeId, des::SimTime> suspected_until_;
   SuspectCallback on_suspect_;
-  des::PeriodicTimer aging_timer_;
+  net::PeriodicTimer aging_timer_;
 };
 
 }  // namespace byzcast::fd

@@ -1,0 +1,106 @@
+#include "net/io_loop.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace byzcast::net {
+
+namespace {
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+IoLoop::IoLoop(std::uint64_t seed) : start_ns_(steady_ns()), root_rng_(seed) {}
+
+des::SimTime IoLoop::now() const { return (steady_ns() - start_ns_) / 1000; }
+
+TimerId IoLoop::schedule_after(des::SimDuration delay,
+                               std::function<void()> action) {
+  TimerId id = next_id_++;
+  heap_.push(HeapEntry{now() + delay, id});
+  actions_.emplace(id, std::move(action));
+  return id;
+}
+
+bool IoLoop::cancel(TimerId id) { return actions_.erase(id) > 0; }
+
+void IoLoop::watch_fd(int fd, FdHandler on_readable) {
+  fd_handlers_[fd] = std::move(on_readable);
+}
+
+void IoLoop::unwatch_fd(int fd) { fd_handlers_.erase(fd); }
+
+std::size_t IoLoop::fire_due() {
+  std::size_t fired = 0;
+  const des::SimTime at = now();
+  while (!heap_.empty() && heap_.top().fire_at <= at && !stopped_) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = actions_.find(top.id);
+    if (it == actions_.end()) continue;  // cancelled (lazy deletion)
+    std::function<void()> action = std::move(it->second);
+    actions_.erase(it);
+    action();
+    ++fired;
+  }
+  return fired;
+}
+
+std::int64_t IoLoop::next_timeout_ms() const {
+  if (heap_.empty()) return -1;
+  const des::SimTime at = now();
+  const des::SimTime fire = heap_.top().fire_at;
+  if (fire <= at) return 0;
+  // Round up so we never wake a millisecond early and spin.
+  return static_cast<std::int64_t>((fire - at + 999) / 1000);
+}
+
+std::size_t IoLoop::run_for(des::SimDuration duration) {
+  stopped_ = false;
+  std::size_t dispatched = 0;
+  const bool bounded = duration != 0;
+  const des::SimTime deadline = now() + duration;
+  while (!stopped_) {
+    dispatched += fire_due();
+    if (stopped_) break;
+    if (bounded && now() >= deadline) break;
+
+    std::int64_t timeout = next_timeout_ms();
+    if (bounded) {
+      const des::SimTime left = deadline - now();
+      const auto left_ms = static_cast<std::int64_t>((left + 999) / 1000);
+      timeout = timeout < 0 ? left_ms : std::min(timeout, left_ms);
+    } else if (timeout < 0 && fd_handlers_.empty()) {
+      break;  // nothing to wait for, ever
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(fd_handlers_.size());
+    for (const auto& [fd, handler] : fd_handlers_) {
+      fds.push_back(pollfd{fd, POLLIN, 0});
+    }
+    int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                       static_cast<int>(timeout));
+    if (ready > 0) {
+      for (const pollfd& p : fds) {
+        if ((p.revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+        auto it = fd_handlers_.find(p.fd);
+        if (it == fd_handlers_.end()) continue;  // unwatched mid-dispatch
+        it->second();
+        ++dispatched;
+        if (stopped_) break;
+      }
+    }
+  }
+  return dispatched;
+}
+
+std::size_t IoLoop::run() { return run_for(0); }
+
+}  // namespace byzcast::net

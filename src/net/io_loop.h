@@ -1,0 +1,91 @@
+// Live net::Env: a poll(2) event loop with real timers (DESIGN.md §13).
+//
+// Single-threaded, like the DES: callbacks (timer firings and fd
+// readability) are dispatched sequentially from run_for()/run(), so
+// protocol components keep the no-locks concurrency model they were
+// written under. now() is the steady_clock microsecond count since the
+// loop was constructed — the same integer microseconds as virtual time,
+// so every timeout constant in ProtocolConfig means the same thing on
+// both backends.
+//
+// Timers are a lazy-deletion min-heap: cancel() drops the callback from
+// the id map and the heap entry is skipped when it surfaces. The id
+// space matches des::EventId (0 reserved for "none") so net timers work
+// identically over either Env.
+//
+// split_rng() derives deterministic sub-streams from the boot seed —
+// a daemon seeds from entropy, tests from a fixed seed, and either way
+// the per-component stream discipline of the DES carries over.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "des/rng.h"
+#include "net/env.h"
+
+namespace byzcast::net {
+
+class IoLoop final : public Env {
+ public:
+  using FdHandler = std::function<void()>;
+
+  explicit IoLoop(std::uint64_t seed);
+  IoLoop(const IoLoop&) = delete;
+  IoLoop& operator=(const IoLoop&) = delete;
+
+  // --- Env ------------------------------------------------------------------
+  [[nodiscard]] des::SimTime now() const override;
+  TimerId schedule_after(des::SimDuration delay,
+                         std::function<void()> action) override;
+  bool cancel(TimerId id) override;
+  des::Rng split_rng() override { return root_rng_.split(); }
+
+  // --- fd watching ----------------------------------------------------------
+  /// Invokes `on_readable` from the loop whenever `fd` has data. One
+  /// handler per fd; re-watching replaces it.
+  void watch_fd(int fd, FdHandler on_readable);
+  void unwatch_fd(int fd);
+
+  // --- driving --------------------------------------------------------------
+  /// Dispatches timers and fd events until `duration` of wall time has
+  /// elapsed or stop() is called. Returns callbacks dispatched.
+  std::size_t run_for(des::SimDuration duration);
+  /// run_for(forever) — until stop().
+  std::size_t run();
+  /// Makes the innermost run()/run_for() return after the current
+  /// callback. Safe to call from inside a callback.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_timers() const { return actions_.size(); }
+
+ private:
+  struct HeapEntry {
+    des::SimTime fire_at;
+    TimerId id;  // tiebreak: insertion order, matching the DES contract
+    bool operator>(const HeapEntry& other) const {
+      return fire_at != other.fire_at ? fire_at > other.fire_at
+                                      : id > other.id;
+    }
+  };
+
+  /// Fires every due timer; returns count dispatched.
+  std::size_t fire_due();
+  /// Micros until the next live timer, or -1 when none (poll forever).
+  [[nodiscard]] std::int64_t next_timeout_ms() const;
+
+  std::uint64_t start_ns_;
+  des::Rng root_rng_;
+  TimerId next_id_ = 1;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  std::unordered_map<TimerId, std::function<void()>> actions_;
+  std::unordered_map<int, FdHandler> fd_handlers_;
+  bool stopped_ = false;
+};
+
+}  // namespace byzcast::net

@@ -1,0 +1,50 @@
+// The DES backend of the transport/clock API (DESIGN.md §13).
+//
+// The Env half needs no adapter at all: des::Simulator implements
+// net::Env directly, so any component holding an Env& over a simulator
+// schedules into the same event queue, in the same order, as the
+// pre-split code — which is what keeps the golden determinism hashes
+// byte-identical. The Transport half is SimTransport, a stateless
+// forwarder to the node's radio::Radio on the shared Medium.
+//
+// SimBackend bundles the two for call sites that want "the simulator
+// wiring" as one object (byzcastd --transport=sim, tests).
+#pragma once
+
+#include "des/simulator.h"
+#include "net/transport.h"
+#include "radio/radio.h"
+
+namespace byzcast::net {
+
+/// Transport over a simulated radio. `radio` must outlive the transport.
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(radio::Radio& radio) : radio_(radio) {}
+
+  void send(util::Buffer payload) override { radio_.send(std::move(payload)); }
+  void set_receive_handler(ReceiveHandler handler) override {
+    radio_.set_receive_handler(std::move(handler));
+  }
+  [[nodiscard]] NodeId local_id() const override { return radio_.id(); }
+
+ private:
+  radio::Radio& radio_;
+};
+
+/// One node's complete DES wiring: the simulator as Env, its radio as
+/// Transport. Both referents must outlive the backend.
+class SimBackend {
+ public:
+  SimBackend(des::Simulator& sim, radio::Radio& radio)
+      : sim_(sim), transport_(radio) {}
+
+  [[nodiscard]] Env& env() { return sim_; }
+  [[nodiscard]] Transport& transport() { return transport_; }
+
+ private:
+  des::Simulator& sim_;
+  SimTransport transport_;
+};
+
+}  // namespace byzcast::net

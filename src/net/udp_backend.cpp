@@ -1,0 +1,90 @@
+#include "net/udp_backend.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "net/datagram.h"
+
+namespace byzcast::net {
+
+namespace {
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("UdpTransport: bad IPv4 address: " + host);
+  }
+  return addr;
+}
+}  // namespace
+
+UdpTransport::UdpTransport(IoLoop& loop, NodeId self, const std::string& host,
+                           std::uint16_t port, std::vector<UdpPeer> peers)
+    : loop_(loop), self_(self), peers_(std::move(peers)) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("UdpTransport: socket() failed");
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  sockaddr_in local = make_addr(host, port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&local),
+             sizeof(local)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("UdpTransport: bind(" + host + ":" +
+                             std::to_string(port) + ") failed");
+  }
+  for (const UdpPeer& peer : peers_) {
+    if (peer.id == self_) continue;
+    targets_.push_back(make_addr(peer.host, peer.port));
+  }
+  loop_.watch_fd(fd_, [this] { on_readable(); });
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) {
+    loop_.unwatch_fd(fd_);
+    ::close(fd_);
+  }
+}
+
+void UdpTransport::send(util::Buffer payload) {
+  util::Buffer datagram = encode_datagram(self_, payload);
+  for (const sockaddr_in& target : targets_) {
+    ::sendto(fd_, datagram.data(), datagram.size(), 0,
+             reinterpret_cast<const sockaddr*>(&target), sizeof(target));
+  }
+  ++sent_;
+}
+
+void UdpTransport::set_receive_handler(ReceiveHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void UdpTransport::on_readable() {
+  // Drain everything available: poll() is level-triggered, but one
+  // callback per datagram would cost a full loop turn each.
+  for (;;) {
+    std::vector<std::uint8_t> buf(65536);
+    ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n < 0) return;  // EAGAIN or error: nothing more to read
+    // n == 0 is a legal zero-length datagram; it falls through the strict
+    // decoder (too short) and counts as rejected like any other garbage.
+    buf.resize(static_cast<std::size_t>(n));
+    util::Buffer bytes(std::move(buf));
+    std::optional<radio::Frame> frame = decode_datagram(bytes);
+    if (!frame || frame->sender == self_) {
+      ++rejected_;
+      continue;
+    }
+    ++received_;
+    if (handler_) handler_(*frame);
+  }
+}
+
+}  // namespace byzcast::net

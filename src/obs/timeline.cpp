@@ -74,9 +74,9 @@ std::string snapshot(const TimelineData& data) {
   return out;
 }
 
-Timeline::Timeline(des::Simulator& sim, const stats::Metrics& metrics,
+Timeline::Timeline(net::Env& env, const stats::Metrics& metrics,
                    des::SimDuration interval)
-    : sim_(sim), metrics_(metrics), timer_(sim, interval, [this] { sample(); }) {
+    : env_(env), metrics_(metrics), timer_(env, interval, [this] { sample(); }) {
   if (interval <= 0) {
     throw std::invalid_argument("Timeline: interval must be positive");
   }
@@ -97,13 +97,13 @@ void Timeline::start() {
 }
 
 void Timeline::sample_now() {
-  if (!data_.samples.empty() && data_.samples.back().at == sim_.now()) return;
+  if (!data_.samples.empty() && data_.samples.back().at == env_.now()) return;
   sample();
 }
 
 void Timeline::sample() {
   TimelineSample s;
-  s.at = sim_.now();
+  s.at = env_.now();
   const std::uint64_t cur[8] = {
       metrics_.frames_offered(),      metrics_.frames_delivered(),
       metrics_.frames_collided(),     metrics_.frames_dropped(),

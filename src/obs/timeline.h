@@ -23,8 +23,8 @@
 #include <string>
 #include <vector>
 
-#include "des/simulator.h"
-#include "des/timer.h"
+#include "net/env.h"
+#include "net/timer.h"
 #include "obs/gauge.h"
 #include "stats/metrics.h"
 
@@ -74,7 +74,7 @@ std::string snapshot(const TimelineData& data);
 class Timeline {
  public:
   /// `metrics` must outlive the Timeline (both live in the Network).
-  Timeline(des::Simulator& sim, const stats::Metrics& metrics,
+  Timeline(net::Env& env, const stats::Metrics& metrics,
            des::SimDuration interval);
 
   /// Registers a gauge source under `label`; polled in registration
@@ -96,14 +96,14 @@ class Timeline {
  private:
   void sample();
 
-  des::Simulator& sim_;
+  net::Env& env_;
   const stats::Metrics& metrics_;
   std::vector<std::string> labels_;
   std::vector<const GaugeSource*> sources_;
   // Cumulative counter values as of the previous sample (delta baseline).
   std::uint64_t prev_[8] = {};
   TimelineData data_;
-  des::PeriodicTimer timer_;
+  net::PeriodicTimer timer_;
 };
 
 }  // namespace byzcast::obs

@@ -53,13 +53,13 @@ std::uint32_t FifoReceiver::next_seq(NodeId origin) const {
 // ReliableBroadcaster
 // ---------------------------------------------------------------------------
 
-ReliableBroadcaster::ReliableBroadcaster(des::Simulator& sim,
+ReliableBroadcaster::ReliableBroadcaster(net::Env& env,
                                          core::ByzcastNode& node,
                                          ReliableConfig config)
-    : sim_(sim),
+    : env_(env),
       node_(node),
       config_(config),
-      pump_timer_(sim, config.pump_period, [this] { pump(); }) {
+      pump_timer_(env, config.pump_period, [this] { pump(); }) {
   pump_timer_.start();
 }
 
@@ -84,11 +84,11 @@ std::uint32_t ReliableBroadcaster::stable_floor() const {
     // Stall detection: a neighbour whose report never advances stops
     // gating the window after stall_timeout.
     auto [it, fresh] = progress_.emplace(
-        entry.id, std::make_pair(reported, sim_.now()));
+        entry.id, std::make_pair(reported, env_.now()));
     if (!fresh) {
       if (reported > it->second.first) {
-        it->second = {reported, sim_.now()};
-      } else if (sim_.now() - it->second.second > config_.stall_timeout &&
+        it->second = {reported, env_.now()};
+      } else if (env_.now() - it->second.second > config_.stall_timeout &&
                  reported < static_cast<std::uint32_t>(sent_)) {
         continue;  // stalled: ignore for flow control
       }

@@ -77,7 +77,7 @@ struct ReliableConfig {
 /// Sender-side submission queue + stability-driven sliding window.
 class ReliableBroadcaster {
  public:
-  ReliableBroadcaster(des::Simulator& sim, core::ByzcastNode& node,
+  ReliableBroadcaster(net::Env& env, core::ByzcastNode& node,
                       ReliableConfig config);
 
   /// Queues `payload` for broadcast. Returns false (and drops nothing)
@@ -98,7 +98,7 @@ class ReliableBroadcaster {
  private:
   void pump();
 
-  des::Simulator& sim_;
+  net::Env& env_;
   core::ByzcastNode& node_;
   ReliableConfig config_;
   std::deque<std::vector<std::uint8_t>> queue_;

@@ -14,11 +14,11 @@ using core::MessageId;
 using core::Packet;
 using core::PullRange;
 
-SyncManager::SyncManager(des::Simulator& sim, NodeId self,
+SyncManager::SyncManager(net::Env& env, NodeId self,
                          const crypto::Pki& pki, crypto::Signer signer,
                          core::MessageStore& store, SyncConfig config,
                          Hooks hooks, des::Rng rng)
-    : sim_(sim),
+    : env_(env),
       self_(self),
       pki_(pki),
       signer_(std::move(signer)),
@@ -27,9 +27,9 @@ SyncManager::SyncManager(des::Simulator& sim, NodeId self,
       hooks_(std::move(hooks)),
       rng_(rng),
       backoff_(config.backoff),
-      retry_timer_(sim),
-      startup_timer_(sim),
-      period_timer_(sim, config.period > 0 ? config.period : des::seconds(1),
+      retry_timer_(env),
+      startup_timer_(env),
+      period_timer_(env, config.period > 0 ? config.period : des::seconds(1),
                     [this] {
                       if (state_ == State::kIdle) open_session();
                     }) {}

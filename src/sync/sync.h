@@ -41,8 +41,8 @@
 #include "core/message_store.h"
 #include "crypto/signature.h"
 #include "des/rng.h"
-#include "des/simulator.h"
-#include "des/timer.h"
+#include "net/env.h"
+#include "net/timer.h"
 #include "fd/fd_types.h"
 #include "obs/gauge.h"
 #include "sync/backoff.h"
@@ -81,7 +81,7 @@ class SyncManager : public obs::GaugeSource {
 
   /// `store` must outlive the manager. `rng` should be a dedicated
   /// split so session jitter never perturbs the owner's draws.
-  SyncManager(des::Simulator& sim, NodeId self, const crypto::Pki& pki,
+  SyncManager(net::Env& env, NodeId self, const crypto::Pki& pki,
               crypto::Signer signer, core::MessageStore& store,
               SyncConfig config, Hooks hooks, des::Rng rng);
 
@@ -138,7 +138,7 @@ class SyncManager : public obs::GaugeSource {
     if (hooks_.trace) hooks_.trace(kind, peer, id, a);
   }
 
-  des::Simulator& sim_;
+  net::Env& env_;
   NodeId self_;
   const crypto::Pki& pki_;
   crypto::Signer signer_;
@@ -156,9 +156,9 @@ class SyncManager : public obs::GaugeSource {
   std::size_t rotation_ = 0;             ///< next candidate index
   Backoff backoff_;
 
-  des::OneShotTimer retry_timer_;
-  des::OneShotTimer startup_timer_;
-  des::PeriodicTimer period_timer_;
+  net::OneShotTimer retry_timer_;
+  net::OneShotTimer startup_timer_;
+  net::PeriodicTimer period_timer_;
 
   std::uint64_t admitted_ = 0;
   std::uint64_t admitted_bytes_ = 0;

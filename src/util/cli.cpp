@@ -83,9 +83,15 @@ CliArgs& CliArgs::register_flag(const std::string& name,
   if (it != flags_.end()) {
     it->default_text = std::move(default_text);
     it->help = help;
+    it->group = current_group_;
   } else {
-    flags_.push_back({name, std::move(default_text), help});
+    flags_.push_back({name, std::move(default_text), help, current_group_});
   }
+  return *this;
+}
+
+CliArgs& CliArgs::begin_group(const std::string& title) {
+  current_group_ = title;
   return *this;
 }
 
@@ -149,12 +155,23 @@ bool CliArgs::handle_help(const std::string& program, std::ostream& os) const {
     for (const FlagInfo& f : flags_) {
       width = std::max(width, f.name.size() + f.default_text.size());
     }
-    os << "\nflags:\n";
+    // One block per group, in first-appearance order; ungrouped flags
+    // keep the historical "flags:" heading.
+    std::vector<std::string> groups;
     for (const FlagInfo& f : flags_) {
-      std::string head = "--" + f.name + "=" + f.default_text;
-      os << "  " << head;
-      for (std::size_t i = head.size(); i < width + 5; ++i) os << ' ';
-      os << f.help << "\n";
+      if (std::find(groups.begin(), groups.end(), f.group) == groups.end()) {
+        groups.push_back(f.group);
+      }
+    }
+    for (const std::string& group : groups) {
+      os << "\n" << (group.empty() ? "flags" : group) << ":\n";
+      for (const FlagInfo& f : flags_) {
+        if (f.group != group) continue;
+        std::string head = "--" + f.name + "=" + f.default_text;
+        os << "  " << head;
+        for (std::size_t i = head.size(); i < width + 5; ++i) os << ' ';
+        os << f.help << "\n";
+      }
     }
   }
   return true;

@@ -52,6 +52,12 @@ class CliArgs {
   CliArgs& add_flag(const std::string& name, bool def,
                     const std::string& help);
 
+  /// Starts a named help group: flags declared after this call render
+  /// under a `title:` heading in --help instead of the default `flags:`
+  /// block. Lets a binary with backend-specific flags (byzcastd's sim/udp
+  /// split) keep its generated help readable. Returns *this for chaining.
+  CliArgs& begin_group(const std::string& title);
+
   /// Registered-default getters; throw std::logic_error for names never
   /// passed to add_flag (a programming error, not user input).
   [[nodiscard]] std::string get_str(const std::string& name) const;
@@ -73,6 +79,7 @@ class CliArgs {
     std::string name;
     std::string default_text;
     std::string help;
+    std::string group;  ///< help heading; "" renders under "flags:"
   };
   [[nodiscard]] const FlagInfo& registered(const std::string& name) const;
   CliArgs& register_flag(const std::string& name, std::string default_text,
@@ -80,6 +87,7 @@ class CliArgs {
 
   std::map<std::string, std::string> values_;
   std::vector<FlagInfo> flags_;  ///< declaration order, for --help
+  std::string current_group_;    ///< applied to subsequent add_flag calls
   bool help_requested_ = false;
   mutable std::set<std::string> queried_;
 };

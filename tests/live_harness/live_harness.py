@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Multi-process localhost harness for byzcastd (DESIGN.md §13).
+
+Runs the same broadcast scenario twice:
+
+  1. `byzcastd --transport=sim` — one process, whole fleet on the DES,
+     emitting the *predicted* per-node delivery sets; then
+  2. n `byzcastd --transport=udp` daemons on loopback ports, each
+     emitting its *observed* delivery set.
+
+and asserts the merged observed sets equal the prediction exactly.
+This is the end-to-end proof that the net::Transport/net::Env port
+did not change protocol behaviour: same binary, same keys, same
+workload — only the backend differs.
+
+Exit status 0 on match; 1 with a per-node diff otherwise.
+
+Usage:
+  live_harness.py --byzcastd build/examples/byzcastd [--n 8] [--bcasts 5]
+                  [--duration-s 10] [--base-port auto] [--report-dir DIR]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def pick_base_port():
+    """Pid-derived port block so parallel ctest runs don't collide."""
+    return 23000 + (os.getpid() % 1000) * 32
+
+
+def load_deliveries(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "byzcast-deliveries/v1":
+        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {
+        int(node): sorted(map(tuple, entries))
+        for node, entries in doc["nodes"].items()
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--byzcastd", required=True,
+                        help="path to the byzcastd binary")
+    parser.add_argument("--n", type=int, default=8)
+    parser.add_argument("--bcasts", type=int, default=5)
+    parser.add_argument("--interval-ms", type=int, default=300)
+    parser.add_argument("--start-delay-s", type=float, default=2.0)
+    parser.add_argument("--duration-s", type=float, default=8.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--key-seed", type=int, default=42)
+    parser.add_argument("--base-port", type=int, default=0,
+                        help="0 = derive from pid")
+    parser.add_argument("--report-dir", default="",
+                        help="also write per-node run reports here")
+    args = parser.parse_args()
+
+    base_port = args.base_port or pick_base_port()
+    common = [
+        f"--n={args.n}",
+        f"--bcasts={args.bcasts}",
+        f"--interval-ms={args.interval_ms}",
+        f"--start-delay-s={args.start_delay_s}",
+        f"--duration-s={args.duration_s}",
+        f"--seed={args.seed}",
+        f"--key-seed={args.key_seed}",
+    ]
+    if args.report_dir:
+        os.makedirs(args.report_dir, exist_ok=True)
+
+    with tempfile.TemporaryDirectory(prefix="byzcast-live-") as tmp:
+        # 1. DES prediction (virtual time: completes immediately).
+        expect_path = os.path.join(tmp, "expect.json")
+        subprocess.run(
+            [args.byzcastd, "--transport=sim",
+             f"--deliveries={expect_path}", *common],
+            check=True)
+        expected = load_deliveries(expect_path)
+
+        # 2. Live fleet. Node 0 is the source; launch order is arbitrary
+        #    (the overlay warms up during --start-delay-s).
+        procs = []
+        for node in range(args.n):
+            cmd = [args.byzcastd, "--transport=udp", f"--id={node}",
+                   f"--base-port={base_port}",
+                   f"--deliveries={os.path.join(tmp, f'node{node}.json')}",
+                   *common]
+            if node == 0:
+                cmd.append("--source")
+            if args.report_dir:
+                cmd.append(f"--telemetry-ms=500")
+                cmd.append(
+                    f"--report={os.path.join(args.report_dir, f'node{node}.report.json')}")
+            procs.append(subprocess.Popen(cmd))
+        failures = [p.args[2] for p in procs if p.wait() != 0]
+        if failures:
+            raise SystemExit(f"daemons exited nonzero: {failures}")
+
+        observed = {}
+        for node in range(args.n):
+            observed.update(
+                load_deliveries(os.path.join(tmp, f"node{node}.json")))
+
+    ok = True
+    for node in range(args.n):
+        want = expected.get(node, [])
+        got = observed.get(node, [])
+        if want != got:
+            ok = False
+            print(f"node {node}: MISMATCH\n  expected {want}\n  observed {got}")
+    if ok:
+        total = sum(len(v) for v in observed.values())
+        print(f"live harness OK: {args.n} nodes, {args.bcasts} broadcasts, "
+              f"{total} deliveries match the DES prediction")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

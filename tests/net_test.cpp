@@ -1,0 +1,316 @@
+// Tests for the net/ layer (DESIGN.md §13): datagram wire format,
+// IoLoop timers, the live UDP transport on loopback, and the guarantee
+// that the explicit Env/Transport wiring is byte-identical to the
+// legacy Simulator/Radio shim ctors.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/byzcast_node.h"
+#include "des/simulator.h"
+#include "mobility/static_mobility.h"
+#include "net/datagram.h"
+#include "net/io_loop.h"
+#include "net/sim_backend.h"
+#include "net/timer.h"
+#include "net/udp_backend.h"
+#include "radio/medium.h"
+#include "radio/propagation.h"
+#include "sim/runner.h"
+
+namespace byzcast::net {
+namespace {
+
+// --- datagram wire format --------------------------------------------------
+
+TEST(DatagramTest, RoundTrip) {
+  util::Buffer payload({1, 2, 3, 4, 5});
+  util::Buffer wire = encode_datagram(7, payload);
+  ASSERT_EQ(wire.size(), kDatagramHeaderBytes + payload.size());
+
+  std::optional<radio::Frame> frame = decode_datagram(wire);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->sender, 7u);
+  ASSERT_EQ(frame->payload.size(), payload.size());
+  EXPECT_TRUE(std::equal(frame->payload.data(),
+                         frame->payload.data() + frame->payload.size(),
+                         payload.data()));
+}
+
+TEST(DatagramTest, RoundTripEmptyPayload) {
+  util::Buffer wire = encode_datagram(0, util::Buffer{});
+  ASSERT_EQ(wire.size(), kDatagramHeaderBytes);
+  std::optional<radio::Frame> frame = decode_datagram(wire);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->sender, 0u);
+  EXPECT_EQ(frame->payload.size(), 0u);
+}
+
+TEST(DatagramTest, RejectsTruncationSweep) {
+  // Corruption-sweep style (core/message.h): every proper prefix of the
+  // header must be rejected, never crash.
+  util::Buffer wire = encode_datagram(3, util::Buffer({9, 9, 9}));
+  for (std::size_t len = 0; len < kDatagramHeaderBytes; ++len) {
+    std::vector<std::uint8_t> cut(wire.data(), wire.data() + len);
+    EXPECT_FALSE(decode_datagram(util::Buffer(std::move(cut))).has_value())
+        << "accepted a " << len << "-byte prefix";
+  }
+  // The full header with an empty payload is still a valid datagram.
+  std::vector<std::uint8_t> exact(wire.data(),
+                                  wire.data() + kDatagramHeaderBytes);
+  EXPECT_TRUE(decode_datagram(util::Buffer(std::move(exact))).has_value());
+}
+
+TEST(DatagramTest, RejectsCorruptedEnvelopeSweep) {
+  // Flip one bit in each envelope byte: magic and version corruption must
+  // reject; the sender field has no redundancy, so a flipped sender still
+  // decodes (to the wrong advisory id) — signatures catch that upstream.
+  util::Buffer clean = encode_datagram(3, util::Buffer({1, 2, 3}));
+  for (std::size_t i = 0; i < kDatagramHeaderBytes; ++i) {
+    std::vector<std::uint8_t> bytes(clean.data(),
+                                    clean.data() + clean.size());
+    bytes[i] ^= 0x01;
+    std::optional<radio::Frame> frame =
+        decode_datagram(util::Buffer(std::move(bytes)));
+    if (i < 5) {
+      EXPECT_FALSE(frame.has_value()) << "accepted corrupted byte " << i;
+    } else {
+      ASSERT_TRUE(frame.has_value());
+      EXPECT_NE(frame->sender, 3u);
+    }
+  }
+}
+
+TEST(DatagramTest, RejectsWrongVersion) {
+  util::Buffer wire = encode_datagram(1, util::Buffer({42}));
+  std::vector<std::uint8_t> bytes(wire.data(), wire.data() + wire.size());
+  bytes[4] = kDatagramVersion + 1;
+  EXPECT_FALSE(decode_datagram(util::Buffer(std::move(bytes))).has_value());
+}
+
+// --- IoLoop ----------------------------------------------------------------
+
+TEST(IoLoopTest, FiresTimersInDeadlineOrder) {
+  IoLoop loop(1);
+  std::vector<int> order;
+  loop.schedule_after(des::millis(30), [&] { order.push_back(3); });
+  loop.schedule_after(des::millis(10), [&] { order.push_back(1); });
+  loop.schedule_after(des::millis(20), [&] { order.push_back(2); });
+  loop.run_for(des::millis(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(IoLoopTest, CancelPreventsFiring) {
+  IoLoop loop(1);
+  bool fired = false;
+  TimerId id = loop.schedule_after(des::millis(5), [&] { fired = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // already gone
+  loop.run_for(des::millis(40));
+  EXPECT_FALSE(fired);
+}
+
+TEST(IoLoopTest, RunReturnsWhenNothingToWaitFor) {
+  IoLoop loop(1);
+  int fired = 0;
+  loop.schedule_after(des::millis(1), [&] { ++fired; });
+  // Unbounded run() exits once the last timer fired and no fd is watched.
+  loop.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(IoLoopTest, PeriodicTimerTicksAgainstWallClock) {
+  IoLoop loop(1);
+  int ticks = 0;
+  net::PeriodicTimer timer(loop, des::millis(10), [&] { ++ticks; });
+  timer.start();
+  loop.run_for(des::millis(120));
+  timer.stop();
+  // Wall-clock scheduling jitter: demand a sane band, not an exact count.
+  EXPECT_GE(ticks, 4);
+  EXPECT_LE(ticks, 13);
+}
+
+TEST(IoLoopTest, SplitRngStreamsDiffer) {
+  IoLoop loop(99);
+  des::Rng a = loop.split_rng();
+  des::Rng b = loop.split_rng();
+  bool differ = false;
+  for (int i = 0; i < 8 && !differ; ++i) differ = a.next_u64() != b.next_u64();
+  EXPECT_TRUE(differ);
+}
+
+// --- UDP transport on loopback ---------------------------------------------
+
+// Loopback sockets; picks ports from the pid so parallel ctest instances
+// don't collide.
+std::uint16_t test_base_port() {
+  return static_cast<std::uint16_t>(22000 + (::getpid() % 2000) * 4);
+}
+
+TEST(UdpTransportTest, LoopbackEcho) {
+  const std::uint16_t base = test_base_port();
+  IoLoop loop(1);
+  std::vector<UdpPeer> peers{{0, "127.0.0.1", base},
+                             {1, "127.0.0.1", static_cast<std::uint16_t>(
+                                                  base + 1)}};
+  UdpTransport a(loop, 0, "127.0.0.1", base, peers);
+  UdpTransport b(loop, 1, "127.0.0.1",
+                 static_cast<std::uint16_t>(base + 1), peers);
+
+  std::vector<std::pair<NodeId, std::size_t>> got;
+  b.set_receive_handler([&](const radio::Frame& frame) {
+    got.emplace_back(frame.sender, frame.payload.size());
+    // Echo back so both directions get exercised.
+    b.send(util::Buffer({0xAA}));
+  });
+  bool echoed = false;
+  a.set_receive_handler([&](const radio::Frame& frame) {
+    echoed = frame.sender == 1 && frame.payload.size() == 1;
+    loop.stop();
+  });
+
+  loop.schedule_after(0, [&] { a.send(util::Buffer({1, 2, 3})); });
+  loop.run_for(des::seconds(5));
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 0u);
+  EXPECT_EQ(got[0].second, 3u);
+  EXPECT_TRUE(echoed);
+  EXPECT_EQ(a.datagrams_sent(), 1u);
+  EXPECT_EQ(b.datagrams_received(), 1u);
+}
+
+TEST(UdpTransportTest, RejectsMalformedDatagrams) {
+  const std::uint16_t base = static_cast<std::uint16_t>(test_base_port() + 2);
+  IoLoop loop(1);
+  std::vector<UdpPeer> peers{{0, "127.0.0.1", base},
+                             {1, "127.0.0.1", static_cast<std::uint16_t>(
+                                                  base + 1)}};
+  UdpTransport victim(loop, 0, "127.0.0.1", base, peers);
+  int delivered = 0;
+  victim.set_receive_handler([&](const radio::Frame&) { ++delivered; });
+
+  // A raw socket spraying garbage straight at the victim's port.
+  int raw = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_in to{};
+  to.sin_family = AF_INET;
+  to.sin_port = htons(base);
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &to.sin_addr), 1);
+  const std::vector<std::vector<std::uint8_t>> garbage = {
+      {},                            // sweeps are below; empty datagram
+      {0x42},                        // short
+      {0xDE, 0xAD, 0xBE, 0xEF, 1, 0, 0, 0, 0},  // wrong magic
+      {0x42, 0x5A, 0x43, 0x31, 9, 0, 0, 0, 0},  // wrong version
+      {0x42, 0x5A, 0x43, 0x31, 1, 0, 0, 0, 0},  // valid, sender 0 == self
+  };
+  for (const auto& datagram : garbage) {
+    ::sendto(raw, datagram.data(), datagram.size(), 0,
+             reinterpret_cast<const sockaddr*>(&to), sizeof(to));
+  }
+  ::close(raw);
+
+  loop.run_for(des::millis(300));
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(victim.datagrams_rejected(), garbage.size());
+}
+
+// --- SimBackend equivalence ------------------------------------------------
+
+using DeliverySet = std::set<std::pair<NodeId, std::uint32_t>>;
+
+struct SimRun {
+  std::vector<DeliverySet> delivered;
+  std::uint64_t events = 0;
+};
+
+/// Runs a 4-node all-in-range broadcast scenario. `explicit_wiring` picks
+/// between the legacy (Simulator&, Radio&) shim ctor and the primary
+/// (Env&, Transport&) ctor over a net::SimTransport — the two must be
+/// observationally identical, event for event.
+SimRun run_scenario(bool explicit_wiring) {
+  constexpr std::size_t kN = 4;
+  des::Simulator sim(7);
+  stats::Metrics metrics;
+  crypto::Pki pki{des::Rng(42)};
+  radio::MediumConfig mc;
+  mc.collisions_enabled = false;
+  mc.base_loss_prob = 0.0;
+  radio::Medium medium(sim, std::make_unique<radio::UnitDisk>(), mc,
+                       &metrics);
+
+  std::vector<std::unique_ptr<mobility::MobilityModel>> mobility;
+  std::vector<std::unique_ptr<radio::Radio>> radios;
+  std::vector<std::unique_ptr<SimTransport>> transports;
+  std::vector<std::unique_ptr<core::ByzcastNode>> nodes;
+  SimRun run;
+  run.delivered.resize(kN);
+  for (NodeId id = 0; id < kN; ++id) {
+    mobility.push_back(std::make_unique<mobility::StaticMobility>(
+        geo::Vec2{static_cast<double>(id), 0}));
+    radios.push_back(
+        std::make_unique<radio::Radio>(medium, id, *mobility.back(), 100));
+    if (explicit_wiring) {
+      transports.push_back(std::make_unique<SimTransport>(*radios.back()));
+      nodes.push_back(std::make_unique<core::ByzcastNode>(
+          sim, *transports.back(), pki, pki.register_node(id),
+          core::ProtocolConfig{}, &metrics));
+    } else {
+      nodes.push_back(std::make_unique<core::ByzcastNode>(
+          sim, *radios.back(), pki, pki.register_node(id),
+          core::ProtocolConfig{}, &metrics));
+    }
+    nodes.back()->set_accept_handler(
+        [&run, id](const core::MessageId& mid,
+                   std::span<const std::uint8_t>) {
+          run.delivered[id].emplace(mid.origin, mid.seq);
+        });
+    nodes.back()->start();
+  }
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    sim.schedule_at(des::seconds(2) + des::millis(500) * i, [&, i] {
+      nodes[0]->broadcast(sim::make_payload(i, 32));
+    });
+  }
+  sim.run_until(des::seconds(8));
+  run.events = sim.events_executed();
+  return run;
+}
+
+TEST(SimBackendTest, ExplicitWiringMatchesLegacyShim) {
+  SimRun shim = run_scenario(false);
+  SimRun explicit_run = run_scenario(true);
+  // Same deliveries AND the same number of simulator events: the shim
+  // must not perturb the event stream in any way (determinism hashes in
+  // determinism_test.cpp depend on this).
+  EXPECT_EQ(shim.delivered, explicit_run.delivered);
+  EXPECT_EQ(shim.events, explicit_run.events);
+  for (NodeId id = 1; id < 4; ++id) {
+    EXPECT_EQ(shim.delivered[id].size(), 3u) << "node " << id;
+  }
+}
+
+TEST(SimBackendTest, TransportExposesRadioIdentity) {
+  des::Simulator sim(1);
+  stats::Metrics metrics;
+  radio::MediumConfig mc;
+  radio::Medium medium(sim, std::make_unique<radio::UnitDisk>(), mc,
+                       &metrics);
+  mobility::StaticMobility still({0, 0});
+  radio::Radio radio(medium, 5, still, 100);
+  SimTransport transport(radio);
+  EXPECT_EQ(transport.local_id(), 5u);
+}
+
+}  // namespace
+}  // namespace byzcast::net
