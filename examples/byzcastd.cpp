@@ -22,25 +22,44 @@
 // Delivery artifact ("byzcast-deliveries/v1"): per-node sorted accept
 // sets as [origin, seq] pairs; the source node's own broadcasts count as
 // delivered to itself. --report additionally emits the same
-// "byzcast-run-report/v1" JSON byzsim writes, with tool="byzcastd" and
-// the flight-recorder timeline sampled on wall-clock time.
+// "byzcast-run-report/v1" JSON byzsim writes, with tool="byzcastd", the
+// flight-recorder timeline sampled on wall-clock time, and (udp mode) a
+// "net" section of transport/impairment/peer-health counters.
+//
+// Chaos knobs (DESIGN.md §14): --impair-drop/-dup/-reorder/-delay-ms
+// wrap the UDP transport's ingress in a net::ImpairedTransport;
+// --impair-corrupt mangles egress datagram bytes pre-sendto so receivers
+// exercise the strict 'BZC1' decode. A net::PeerHealth tracker turns
+// transport-level silence and send-error streaks into kMute suspicions
+// on the node's TrustFd. SIGTERM/SIGINT stop the loop via a self-pipe
+// and still flush the delivery/report artifacts, so a harness can kill a
+// daemon early without losing its observations.
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
 #include "core/byzcast_node.h"
+#include "fd/fd_types.h"
 #include "mobility/static_mobility.h"
+#include "net/impairment.h"
 #include "net/io_loop.h"
+#include "net/peer_health.h"
 #include "net/sim_backend.h"
 #include "net/udp_backend.h"
 #include "obs/run_report.h"
 #include "obs/timeline.h"
 #include "radio/medium.h"
 #include "sim/runner.h"
+#include "sync/sync.h"
 #include "util/cli.h"
 
 namespace {
@@ -65,7 +84,25 @@ struct Options {
   std::string deliveries_path;
   std::string report_path;
   des::SimDuration telemetry_interval = 0;
+  /// Ingress frame impairment (udp mode only; sim predictions stay
+  /// ideal-channel so they remain the convergence target).
+  net::ImpairmentConfig impairment;
+  /// Egress datagram-byte corruption probability (wire mangler).
+  double wire_corrupt = 0;
+  bool catchup = false;  ///< schedule a range-sync catch-up after start
+  net::PeerHealthConfig health;
 };
+
+// Self-pipe for async-signal-safe shutdown: the handler writes one byte,
+// the IoLoop wakes on the read end and stops, and the normal flush path
+// runs. write(2) is on the async-signal-safe list; failure (pipe full)
+// is fine — any earlier byte already woke the loop.
+int g_signal_pipe_write = -1;
+
+extern "C" void byzcastd_on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe_write, &byte, 1);
+}
 
 using DeliverySet = std::set<std::pair<NodeId, std::uint32_t>>;
 
@@ -111,15 +148,18 @@ sim::ScenarioConfig report_config(const Options& opt) {
   config.senders = 1;
   config.protocol_config = opt.protocol;
   config.telemetry_interval = opt.telemetry_interval;
+  config.impairment = opt.impairment;
   return config;
 }
 
 void write_report(const Options& opt, const sim::ScenarioConfig& config,
-                  const sim::RunResult& result) {
+                  const sim::RunResult& result,
+                  const obs::LiveNetStats* net = nullptr) {
   obs::RunReport report;
   report.tool = "byzcastd";
   report.config = &config;
   report.result = &result;
+  report.net = net;
   if (opt.report_path == "-") {
     report.write_json(std::cout);
     return;
@@ -245,8 +285,32 @@ int run_udp_daemon(const Options& opt) {
       loop, opt.id, opt.host,
       static_cast<std::uint16_t>(opt.base_port + opt.id), std::move(peers));
 
-  core::ByzcastNode node(loop, transport, pki, signer, opt.protocol,
-                         &metrics);
+  // Egress wire corruption: flip a byte of the encoded datagram for one
+  // target with probability --impair-corrupt, so *receivers* exercise
+  // the strict 'BZC1' decode / protocol parse rejection paths.
+  std::uint64_t wire_corrupted = 0;
+  if (opt.wire_corrupt > 0) {
+    auto rng = std::make_shared<des::Rng>(loop.split_rng());
+    transport.set_wire_mangler(
+        [rng, p = opt.wire_corrupt,
+         &wire_corrupted](std::vector<std::uint8_t>& bytes) {
+          if (rng->next_double() < p) {
+            net::flip_random_byte(bytes.data(), bytes.size(), *rng);
+            ++wire_corrupted;
+          }
+        });
+  }
+
+  // Ingress impairment: the node reads through the decorator when any
+  // rate is configured; otherwise it runs straight on the transport.
+  std::optional<net::ImpairedTransport> impaired;
+  net::Transport* path = &transport;
+  if (opt.impairment.any()) {
+    impaired.emplace(loop, transport, opt.impairment);
+    path = &*impaired;
+  }
+
+  core::ByzcastNode node(loop, *path, pki, signer, opt.protocol, &metrics);
   std::map<NodeId, DeliverySet> delivered;
   delivered[opt.id];
   node.set_accept_handler(
@@ -255,7 +319,58 @@ int run_udp_daemon(const Options& opt) {
         delivered[opt.id].emplace(mid.origin, mid.seq);
       });
   node.set_expected_targets(opt.n - 1);
+
+  // Transport-level liveness accounting, fed straight off the UDP
+  // transport's taps and surfaced to the protocol as kMute suspicions —
+  // a peer whose process died looks exactly like the paper's mute node.
+  std::vector<NodeId> others;
+  for (NodeId id = 0; id < opt.n; ++id) {
+    if (id != opt.id) others.push_back(id);
+  }
+  net::PeerHealth health(loop, others, opt.health);
+  transport.set_frame_tap([&health](NodeId peer) { health.on_frame_from(peer); });
+  transport.set_send_error_listener(
+      [&health](NodeId peer) { health.on_send_error(peer); });
+  transport.set_send_ok_listener(
+      [&health](NodeId peer) { health.on_send_ok(peer); });
+  health.set_on_suspect([&node, &opt](NodeId peer) {
+    std::fprintf(stderr, "byzcastd: node %u suspects peer %u (silent/unreachable)\n",
+                 opt.id, peer);
+    node.trust().suspect(peer, fd::SuspicionReason::kMute);
+  });
+  health.set_on_alive([&opt](NodeId peer) {
+    std::fprintf(stderr, "byzcastd: node %u hears peer %u again\n", opt.id,
+                 peer);
+  });
+
   node.start();
+  health.start();
+  if (opt.catchup && node.sync_manager() != nullptr) {
+    // A respawned daemon is a crash-recovered node: pull the backlog via
+    // a range-sync session once HELLOs have repopulated the neighbour
+    // table (SyncManager waits startup_delay before picking a peer).
+    node.sync_manager()->begin_catchup();
+  }
+
+  // SIGTERM/SIGINT: wake the loop through the self-pipe and fall out of
+  // run_for() into the normal artifact flush below.
+  int sig_pipe[2];
+  if (::pipe(sig_pipe) != 0) {
+    throw std::runtime_error("byzcastd: pipe(2) failed");
+  }
+  ::fcntl(sig_pipe[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(sig_pipe[1], F_SETFL, O_NONBLOCK);
+  g_signal_pipe_write = sig_pipe[1];
+  bool interrupted = false;
+  loop.watch_fd(sig_pipe[0], [&] {
+    char buf[16];
+    while (::read(sig_pipe[0], buf, sizeof buf) > 0) {
+    }
+    interrupted = true;
+    loop.stop();
+  });
+  std::signal(SIGTERM, byzcastd_on_signal);
+  std::signal(SIGINT, byzcastd_on_signal);
 
   std::optional<obs::Timeline> timeline;
   if (opt.telemetry_interval > 0) {
@@ -274,7 +389,34 @@ int run_udp_daemon(const Options& opt) {
   }
 
   loop.run_for(opt.duration);
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_signal_pipe_write = -1;
+  loop.unwatch_fd(sig_pipe[0]);
+  ::close(sig_pipe[0]);
+  ::close(sig_pipe[1]);
+  health.stop();
   node.stop();
+
+  obs::LiveNetStats net;
+  net.datagrams_sent = transport.datagrams_sent();
+  net.datagrams_received = transport.datagrams_received();
+  net.datagrams_rejected = transport.datagrams_rejected();
+  net.send_errors = transport.send_errors();
+  net.send_retries = transport.send_retries();
+  net.send_drops = transport.send_drops();
+  if (impaired) {
+    const net::ImpairmentStats& imp = impaired->stats();
+    net.impaired_dropped = imp.dropped;
+    net.impaired_duplicated = imp.duplicated;
+    net.impaired_reordered = imp.reordered;
+    net.impaired_delayed = imp.delayed;
+    net.impaired_corrupted = imp.corrupted;
+  }
+  net.wire_corrupted = wire_corrupted;
+  net.health_suspect_transitions = health.suspect_transitions();
+  net.health_alive_transitions = health.alive_transitions();
+  net.health_suspected_at_end = health.suspects().size();
 
   write_deliveries_file(opt, delivered);
   if (!opt.report_path.empty()) {
@@ -284,14 +426,22 @@ int run_udp_daemon(const Options& opt) {
     result.correct_count = opt.n;
     result.sim_seconds = static_cast<double>(loop.now()) / 1e6;
     if (timeline) result.timeline = timeline->data();
-    write_report(opt, report_config(opt), result);
+    write_report(opt, report_config(opt), result, &net);
   }
   std::fprintf(stderr,
-               "byzcastd: node %u done: %zu delivered, %llu datagrams in, "
-               "%llu rejected\n",
-               opt.id, delivered[opt.id].size(),
-               static_cast<unsigned long long>(transport.datagrams_received()),
-               static_cast<unsigned long long>(transport.datagrams_rejected()));
+               "byzcastd: node %u %s: %zu delivered, %llu datagrams in, "
+               "%llu rejected, %llu send errors (%llu retries, %llu drops), "
+               "%llu impaired, %zu suspects\n",
+               opt.id, interrupted ? "interrupted (flushed)" : "done",
+               delivered[opt.id].size(),
+               static_cast<unsigned long long>(net.datagrams_received),
+               static_cast<unsigned long long>(net.datagrams_rejected),
+               static_cast<unsigned long long>(net.send_errors),
+               static_cast<unsigned long long>(net.send_retries),
+               static_cast<unsigned long long>(net.send_drops),
+               static_cast<unsigned long long>(
+                   impaired ? impaired->stats().impaired() : 0),
+               health.suspects().size());
   return 0;
 }
 
@@ -319,7 +469,24 @@ int main(int argc, char** argv) try {
       .add_flag("hello-ms", 1000, "HELLO beacon period");
   args.begin_group("udp backend")
       .add_flag("host", "127.0.0.1", "IPv4 address every node binds")
-      .add_flag("base-port", 19000, "node i binds base-port + i");
+      .add_flag("base-port", 19000, "node i binds base-port + i")
+      .add_flag("range-sync", false,
+                "enable batched anti-entropy range-sync sessions")
+      .add_flag("catchup", false,
+                "start a catch-up sync session after boot (respawned "
+                "daemon; needs --range-sync)");
+  args.begin_group("chaos (udp only)")
+      .add_flag("impair-drop", 0.0, "ingress frame drop probability")
+      .add_flag("impair-dup", 0.0, "ingress frame duplication probability")
+      .add_flag("impair-reorder", 0.0, "ingress frame reorder probability")
+      .add_flag("impair-delay-ms", 0,
+                "max uniform extra ingress latency per frame")
+      .add_flag("impair-corrupt", 0.0,
+                "egress datagram byte-flip probability (wire mangler)")
+      .add_flag("health-silence-s", 5.0,
+                "peer silence before a transport-level kMute suspicion")
+      .add_flag("health-send-errors", 8,
+                "consecutive send errors before suspecting a peer");
   args.begin_group("output")
       .add_flag("deliveries", "",
                 "write the byzcast-deliveries/v1 JSON here (- = stdout)")
@@ -352,6 +519,18 @@ int main(int argc, char** argv) try {
   opt.report_path = args.get_str("report");
   opt.telemetry_interval =
       des::from_seconds(args.get_double("telemetry-ms") / 1e3);
+  opt.protocol.sync.enabled = args.get_bool("range-sync");
+  opt.catchup = args.get_bool("catchup");
+  opt.impairment.link.drop = args.get_double("impair-drop");
+  opt.impairment.link.duplicate = args.get_double("impair-dup");
+  opt.impairment.link.reorder = args.get_double("impair-reorder");
+  opt.impairment.link.delay_max =
+      des::millis(static_cast<std::uint64_t>(args.get_int("impair-delay-ms")));
+  opt.wire_corrupt = args.get_double("impair-corrupt");
+  opt.health.silence_timeout =
+      des::from_seconds(args.get_double("health-silence-s"));
+  opt.health.send_error_threshold =
+      static_cast<int>(args.get_int("health-send-errors"));
   args.reject_unknown();
 
   if (opt.n == 0 || opt.id >= opt.n) {

@@ -16,6 +16,7 @@
 
 #include "analysis/graph_stats.h"
 #include "geo/placement.h"
+#include "net/impairment.h"
 #include "obs/profiler.h"
 #include "obs/run_report.h"
 #include "sim/runner.h"
@@ -153,6 +154,17 @@ int main(int argc, char** argv) try {
   config.protocol_config.sync.batch_max_messages =
       static_cast<std::size_t>(args.get_int("sync-batch", 16));
 
+  // Transport-level message adversary (DESIGN.md §14): seeded per-frame
+  // drop/duplicate/reorder/corrupt/delay applied on every node's ingress
+  // path, orthogonal to the medium's --loss and to byz::Adversary. All
+  // zero (the default) builds no decorators at all.
+  config.impairment.link.drop = args.get_double("impair-drop", 0.0);
+  config.impairment.link.duplicate = args.get_double("impair-dup", 0.0);
+  config.impairment.link.reorder = args.get_double("impair-reorder", 0.0);
+  config.impairment.link.corrupt = args.get_double("impair-corrupt", 0.0);
+  config.impairment.link.delay_max =
+      des::millis(static_cast<std::uint64_t>(args.get_int("impair-delay-ms", 0)));
+
   // Fault schedule (sim/fault.h documents the line format):
   //   ./byzsim --fault-script=faults.txt
   // with faults.txt containing e.g. "t=10 crash node=3".
@@ -257,6 +269,14 @@ int main(int argc, char** argv) try {
   if (config.protocol == sim::ProtocolKind::kByzcast) {
     add("overlay_size", static_cast<std::int64_t>(result.overlay_size_end));
     add("overlay_healthy", std::string(result.overlay_healthy_end ? "yes" : "no"));
+  }
+  if (config.impairment.any()) {
+    net::ImpairmentStats imp = network.impairment_stats();
+    add("impair_forwarded", static_cast<std::int64_t>(imp.forwarded));
+    add("impair_dropped", static_cast<std::int64_t>(imp.dropped));
+    add("impair_duplicated", static_cast<std::int64_t>(imp.duplicated));
+    add("impair_reordered", static_cast<std::int64_t>(imp.reordered));
+    add("impair_corrupted", static_cast<std::int64_t>(imp.corrupted));
   }
   // --report=- streams the JSON artifact on stdout; keep it parseable by
   // routing the human summary to stderr instead of interleaving.

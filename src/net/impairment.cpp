@@ -1,0 +1,97 @@
+#include "net/impairment.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace byzcast::net {
+
+void flip_random_byte(std::uint8_t* data, std::size_t size, des::Rng& rng) {
+  if (size == 0) return;
+  data[rng.next_below(size)] ^= 0x01;
+}
+
+ImpairedTransport::ImpairedTransport(Env& env, Transport& inner,
+                                     ImpairmentConfig config)
+    : env_(env),
+      inner_(inner),
+      config_(std::move(config)),
+      rng_(env.split_rng()) {
+  inner_.set_receive_handler(
+      [this](const radio::Frame& frame) { on_frame(frame); });
+}
+
+ImpairedTransport::~ImpairedTransport() {
+  for (TimerId id : in_flight_) env_.cancel(id);
+}
+
+des::SimDuration ImpairedTransport::roll_delay(const LinkImpairment& link) {
+  if (link.delay_max <= link.delay_min) return link.delay_min;
+  const auto span = static_cast<std::uint64_t>(link.delay_max -
+                                               link.delay_min);
+  return link.delay_min +
+         static_cast<des::SimDuration>(rng_.next_below(span + 1));
+}
+
+void ImpairedTransport::on_frame(const radio::Frame& frame) {
+  const LinkImpairment& link = config_.for_peer(frame.sender);
+  if (!link.any()) {
+    ++stats_.forwarded;
+    if (handler_) handler_(frame);
+    return;
+  }
+
+  if (link.drop > 0 && rng_.next_double() < link.drop) {
+    ++stats_.dropped;
+    return;
+  }
+
+  radio::Frame out = frame;
+  if (link.corrupt > 0 && rng_.next_double() < link.corrupt) {
+    std::vector<std::uint8_t> bytes(frame.payload.data(),
+                                    frame.payload.data() +
+                                        frame.payload.size());
+    flip_random_byte(bytes.data(), bytes.size(), rng_);
+    out.payload = util::Buffer(std::move(bytes));
+    ++stats_.corrupted;
+  }
+
+  const bool dup = link.duplicate > 0 && rng_.next_double() < link.duplicate;
+
+  des::SimDuration delay = roll_delay(link);
+  if (link.reorder > 0 && rng_.next_double() < link.reorder) {
+    delay += link.reorder_hold;
+    ++stats_.reordered;
+  }
+  deliver(out, delay);
+
+  if (dup) {
+    ++stats_.duplicated;
+    // The copy rolls its own delay, so a duplicate can land before or
+    // after the original — duplication doubles as mild reordering.
+    deliver(std::move(out), roll_delay(link));
+  }
+}
+
+void ImpairedTransport::deliver(radio::Frame frame, des::SimDuration delay) {
+  if (delay == 0) {
+    ++stats_.forwarded;
+    if (handler_) handler_(frame);
+    return;
+  }
+  ++stats_.delayed;
+  // The timer id only exists after schedule_after returns, but the
+  // callback needs it to deregister itself — a shared slot bridges the
+  // gap (safe: both backends dispatch single-threaded, so the callback
+  // cannot run before the slot is filled).
+  auto slot = std::make_shared<TimerId>(0);
+  *slot = env_.schedule_after(
+      delay, [this, slot, frame = std::move(frame)]() mutable {
+        in_flight_.erase(*slot);
+        ++stats_.forwarded;
+        if (handler_) handler_(frame);
+      });
+  in_flight_.insert(*slot);
+}
+
+}  // namespace byzcast::net

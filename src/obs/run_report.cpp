@@ -193,6 +193,32 @@ void write_profile(std::ostream& os, int indent) {
   os << pad(indent) << "}";
 }
 
+void write_net(std::ostream& os, const LiveNetStats* net, int indent) {
+  if (net == nullptr) {
+    os << pad(indent) << "\"net\": null";
+    return;
+  }
+  const std::string p = pad(indent + 2);
+  os << pad(indent) << "\"net\": {\n";
+  os << p << "\"datagrams\": {\"sent\": " << net->datagrams_sent
+     << ", \"received\": " << net->datagrams_received
+     << ", \"rejected\": " << net->datagrams_rejected << "},\n";
+  os << p << "\"send\": {\"errors\": " << net->send_errors
+     << ", \"retries\": " << net->send_retries
+     << ", \"drops\": " << net->send_drops << "},\n";
+  os << p << "\"impairment\": {\"dropped\": " << net->impaired_dropped
+     << ", \"duplicated\": " << net->impaired_duplicated
+     << ", \"reordered\": " << net->impaired_reordered
+     << ", \"delayed\": " << net->impaired_delayed
+     << ", \"corrupted\": " << net->impaired_corrupted
+     << ", \"wire_corrupted\": " << net->wire_corrupted << "},\n";
+  os << p << "\"peer_health\": {\"suspect_transitions\": "
+     << net->health_suspect_transitions
+     << ", \"alive_transitions\": " << net->health_alive_transitions
+     << ", \"suspected_at_end\": " << net->health_suspected_at_end << "}\n";
+  os << pad(indent) << "}";
+}
+
 void write_trace(std::ostream& os, const trace::TraceRecorder* trace,
                  int indent) {
   if (trace == nullptr) {
@@ -217,7 +243,8 @@ void write_trace(std::ostream& os, const trace::TraceRecorder* trace,
 
 void write_run_object(std::ostream& os, const sim::ScenarioConfig& config,
                       const sim::RunResult& result,
-                      const trace::TraceRecorder* trace, int indent) {
+                      const trace::TraceRecorder* trace, int indent,
+                      const LiveNetStats* net) {
   os << pad(indent) << "{\n";
   write_scenario(os, config, indent + 2);
   os << ",\n";
@@ -230,6 +257,8 @@ void write_run_object(std::ostream& os, const sim::ScenarioConfig& config,
   write_profile(os, indent + 2);
   os << ",\n";
   write_trace(os, trace, indent + 2);
+  os << ",\n";
+  write_net(os, net, indent + 2);
   os << "\n" << pad(indent) << "}";
 }
 
@@ -241,7 +270,7 @@ void RunReport::write_json(std::ostream& os) const {
   os << "  \"schema\": " << quoted(kRunReportSchema) << ",\n";
   os << "  \"tool\": " << quoted(tool) << ",\n";
   os << "  \"run\":\n";
-  write_run_object(os, *config, *result, trace, 4);
+  write_run_object(os, *config, *result, trace, 4, net);
   os << "\n}\n";
 }
 

@@ -182,13 +182,28 @@ Network::Network(const ScenarioConfig& config)
   const std::size_t targets = correct_.size() - 1;
   switch (config.protocol) {
     case ProtocolKind::kByzcast: {
+      // Transport-level message adversary (DESIGN.md §14): when the
+      // scenario configures impairment, every node runs over a seeded
+      // ImpairedTransport. The decorators draw one rng split each, so
+      // inert configs must skip this block entirely (golden hashes).
+      const bool impaired = config.impairment.any();
       byzcast_nodes_.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
         auto id = static_cast<NodeId>(i);
         crypto::Signer signer = pki_->register_node(id);
-        byzcast_nodes_[i] = byz::make_adversary(
-            kinds_[i], sim_, *radios_[i], *pki_, signer,
-            config.protocol_config, &metrics_, config.adversary_params);
+        if (impaired) {
+          sim_transports_.push_back(
+              std::make_unique<net::SimTransport>(*radios_[i]));
+          impaired_.push_back(std::make_unique<net::ImpairedTransport>(
+              sim_, *sim_transports_.back(), config.impairment));
+          byzcast_nodes_[i] = byz::make_adversary(
+              kinds_[i], sim_, *impaired_.back(), *pki_, signer,
+              config.protocol_config, &metrics_, config.adversary_params);
+        } else {
+          byzcast_nodes_[i] = byz::make_adversary(
+              kinds_[i], sim_, *radios_[i], *pki_, signer,
+              config.protocol_config, &metrics_, config.adversary_params);
+        }
         byzcast_nodes_[i]->set_expected_targets(targets);
         if (config.enable_trace) byzcast_nodes_[i]->set_trace(&trace_);
         byzcast_nodes_[i]->start();
@@ -275,6 +290,20 @@ core::ByzcastNode* Network::byzcast_node(NodeId node) {
   return byzcast_nodes_[node].get();
 }
 
+net::ImpairmentStats Network::impairment_stats() const {
+  net::ImpairmentStats total;
+  for (const auto& transport : impaired_) {
+    const net::ImpairmentStats& s = transport->stats();
+    total.forwarded += s.forwarded;
+    total.dropped += s.dropped;
+    total.duplicated += s.duplicated;
+    total.reordered += s.reordered;
+    total.delayed += s.delayed;
+    total.corrupted += s.corrupted;
+  }
+  return total;
+}
+
 geo::Vec2 Network::position_of(NodeId node) const {
   return mobility_.at(node)->position_at(sim_.now());
 }
@@ -350,9 +379,20 @@ NodeId Network::join_node(geo::Vec2 position) {
   hot_.departed.push_back(false);
   hot_.ranges.push_back(config_.tx_range);
   crypto::Signer signer = pki_->register_node(id);
-  byzcast_nodes_.push_back(byz::make_adversary(
-      byz::AdversaryKind::kNone, sim_, *radios_.back(), *pki_, signer,
-      config_.protocol_config, &metrics_, config_.adversary_params));
+  if (config_.impairment.any()) {
+    // Joiners face the same message adversary as the seed membership.
+    sim_transports_.push_back(
+        std::make_unique<net::SimTransport>(*radios_.back()));
+    impaired_.push_back(std::make_unique<net::ImpairedTransport>(
+        sim_, *sim_transports_.back(), config_.impairment));
+    byzcast_nodes_.push_back(byz::make_adversary(
+        byz::AdversaryKind::kNone, sim_, *impaired_.back(), *pki_, signer,
+        config_.protocol_config, &metrics_, config_.adversary_params));
+  } else {
+    byzcast_nodes_.push_back(byz::make_adversary(
+        byz::AdversaryKind::kNone, sim_, *radios_.back(), *pki_, signer,
+        config_.protocol_config, &metrics_, config_.adversary_params));
+  }
   // Its broadcasts target the tracked (seed-correct) nodes; it is not a
   // target itself, so delivery ratios stay defined over seed membership.
   byzcast_nodes_.back()->set_expected_targets(correct_.size());

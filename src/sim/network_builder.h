@@ -17,6 +17,8 @@
 #include "crypto/signature.h"
 #include "des/simulator.h"
 #include "mobility/mobility_model.h"
+#include "net/impairment.h"
+#include "net/sim_backend.h"
 #include "obs/timeline.h"
 #include "radio/medium.h"
 #include "radio/radio.h"
@@ -102,6 +104,10 @@ class Network {
   /// Byzcast-protocol node access (nullptr for other protocols).
   [[nodiscard]] core::ByzcastNode* byzcast_node(NodeId node);
 
+  /// Sum of every node's ImpairedTransport counters; all-zero when
+  /// config.impairment is inert (no decorators were built).
+  [[nodiscard]] net::ImpairmentStats impairment_stats() const;
+
   /// Current positions (sampled from mobility).
   [[nodiscard]] geo::Vec2 position_of(NodeId node) const;
 
@@ -124,6 +130,11 @@ class Network {
   std::unique_ptr<radio::Medium> medium_;
   std::vector<std::unique_ptr<mobility::MobilityModel>> mobility_;
   std::vector<std::unique_ptr<radio::Radio>> radios_;
+  /// Present only when config.impairment.any(): per-node SimTransport +
+  /// ImpairedTransport the byzcast nodes run over (DESIGN.md §14). Empty
+  /// vectors otherwise, so unimpaired runs construct nothing extra.
+  std::vector<std::unique_ptr<net::SimTransport>> sim_transports_;
+  std::vector<std::unique_ptr<net::ImpairedTransport>> impaired_;
 
   std::vector<std::unique_ptr<core::ByzcastNode>> byzcast_nodes_;
   std::vector<std::unique_ptr<baselines::FloodingNode>> flooding_nodes_;

@@ -14,6 +14,7 @@
 #include "core/config.h"
 #include "des/time.h"
 #include "geo/vec2.h"
+#include "net/impairment.h"
 #include "radio/medium.h"
 #include "sim/fault.h"
 
@@ -74,6 +75,14 @@ struct ScenarioConfig {
   /// executed by the FaultInjector. Empty = no injector is constructed at
   /// all, so the run is trace-identical to a pre-fault-subsystem build.
   FaultSchedule fault_schedule;
+
+  /// Transport-level message adversary (DESIGN.md §14): every node's
+  /// transport is wrapped in a net::ImpairedTransport injecting seeded
+  /// per-sender drop/duplicate/reorder/delay/corrupt — loss independent
+  /// of node faults and orthogonal to byz::Adversary. Inert by default:
+  /// when !impairment.any() no decorator is constructed and the run is
+  /// event-for-event identical to a pre-impairment build (golden hashes).
+  net::ImpairmentConfig impairment;
 
   // --- workload --------------------------------------------------------------------
   std::size_t num_broadcasts = 20;

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Multi-process localhost harness for byzcastd (DESIGN.md §13).
+"""Multi-process localhost harness for byzcastd (DESIGN.md §13, §14).
 
 Runs the same broadcast scenario twice:
 
@@ -13,11 +13,23 @@ This is the end-to-end proof that the net::Transport/net::Env port
 did not change protocol behaviour: same binary, same keys, same
 workload — only the backend differs.
 
+Chaos mode layers a message adversary and a process crash on top and
+asserts the *same* convergence: --loss/--dup/--reorder/--corrupt
+configure every daemon's transport impairment, and --kill-node SIGKILLs
+one daemon mid-run, respawning it later with --catchup so range-sync
+pulls the backlog. The DES prediction stays ideal-channel: it is the
+convergence target the impaired live fleet must still reach. With
+--report-dir the per-daemon "byzcast-run-report/v1" files are checked
+for nonzero impairment / recovery counters.
+
 Exit status 0 on match; 1 with a per-node diff otherwise.
 
 Usage:
   live_harness.py --byzcastd build/examples/byzcastd [--n 8] [--bcasts 5]
                   [--duration-s 10] [--base-port auto] [--report-dir DIR]
+                  [--loss 0.2 --dup 0.05 --reorder 0.1 --corrupt 0.01]
+                  [--range-sync --kill-node 3 --kill-after-s 5
+                   --restart-after-s 9]
 """
 
 import argparse
@@ -26,11 +38,17 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
+
+# Fleet relaunch attempts when daemons die during startup (stale port
+# block owned by another process, pid collision between parallel runs).
+MAX_PORT_RETRIES = 3
 
 
-def pick_base_port():
-    """Pid-derived port block so parallel ctest runs don't collide."""
-    return 23000 + (os.getpid() % 1000) * 32
+def pick_base_port(attempt=0):
+    """Pid-derived port block so parallel ctest runs don't collide; each
+    retry shifts to a fresh block."""
+    return 23000 + ((os.getpid() + attempt * 7919) % 1000) * 32
 
 
 def load_deliveries(path):
@@ -42,6 +60,160 @@ def load_deliveries(path):
         int(node): sorted(map(tuple, entries))
         for node, entries in doc["nodes"].items()
     }
+
+
+def stderr_tail(path, lines=15):
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            content = fh.readlines()
+    except OSError:
+        return "  <no stderr captured>"
+    return "".join("  | " + line for line in content[-lines:]) or "  <empty>"
+
+
+class Daemon:
+    """One byzcastd process plus its stderr capture file."""
+
+    def __init__(self, node, cmd, stderr_path):
+        self.node = node
+        self.cmd = cmd
+        self.stderr_path = stderr_path
+        self.killed = False
+        with open(stderr_path, "ab") as log:
+            self.proc = subprocess.Popen(cmd, stderr=log)
+
+    def poll(self):
+        return self.proc.poll()
+
+    def diagnose(self):
+        code = self.proc.poll()
+        return (f"node {self.node} (exit {code}): {' '.join(self.cmd)}\n"
+                + stderr_tail(self.stderr_path))
+
+
+def launch_fleet(args, tmp, base_port, common, chaos):
+    """Starts all n daemons; returns the Daemon list."""
+    daemons = []
+    for node in range(args.n):
+        cmd = [args.byzcastd, "--transport=udp", f"--id={node}",
+               f"--base-port={base_port}",
+               f"--deliveries={os.path.join(tmp, f'node{node}.json')}",
+               *common, *chaos]
+        if node == 0:
+            cmd.append("--source")
+        if args.report_dir:
+            cmd.append("--telemetry-ms=500")
+            cmd.append(
+                f"--report={os.path.join(args.report_dir, f'node{node}.report.json')}")
+        daemons.append(
+            Daemon(node, cmd, os.path.join(tmp, f"node{node}.stderr")))
+    return daemons
+
+
+def startup_check(daemons, timeout_s):
+    """Waits out the startup window; returns daemons that died in it."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        dead = [d for d in daemons if d.poll() is not None]
+        if dead:
+            return dead
+        time.sleep(0.1)
+    return [d for d in daemons if d.poll() is not None]
+
+
+def shut_down(daemons):
+    for d in daemons:
+        if d.poll() is None:
+            d.proc.kill()
+    for d in daemons:
+        d.proc.wait()
+
+
+def run_fleet(args, tmp, base_port, common, chaos):
+    """One full live run: launch, optional kill/respawn, wait. Returns
+    (ok, failed_daemons); a startup death returns ok=False so the caller
+    can retry on a fresh port block."""
+    daemons = launch_fleet(args, tmp, base_port, common, chaos)
+    t0 = time.monotonic()
+
+    dead = startup_check(daemons, args.startup_timeout_s)
+    if dead:
+        shut_down(daemons)
+        return False, dead
+
+    if args.kill_node >= 0:
+        victim = daemons[args.kill_node]
+        time.sleep(max(0.0, t0 + args.kill_after_s - time.monotonic()))
+        victim.proc.kill()
+        victim.proc.wait()
+        victim.killed = True
+        print(f"chaos: SIGKILLed node {args.kill_node} at "
+              f"t={time.monotonic() - t0:.1f}s", flush=True)
+
+        time.sleep(max(0.0, t0 + args.restart_after_s - time.monotonic()))
+        remaining = args.duration_s - (time.monotonic() - t0)
+        if remaining <= 1.0:
+            shut_down(daemons)
+            raise SystemExit("chaos: --restart-after-s leaves no time to "
+                             "catch up; raise --duration-s")
+        cmd = [c for c in victim.cmd
+               if not c.startswith("--duration-s=")]
+        cmd.append(f"--duration-s={remaining:.2f}")
+        if args.range_sync:
+            cmd.append("--catchup")
+        daemons[args.kill_node] = Daemon(args.kill_node, cmd,
+                                         victim.stderr_path)
+        print(f"chaos: respawned node {args.kill_node} at "
+              f"t={time.monotonic() - t0:.1f}s for {remaining:.1f}s",
+              flush=True)
+
+    # Daemons time out on their own (--duration-s); the grace covers
+    # scheduler jitter plus artifact flushing.
+    deadline = t0 + args.duration_s + 30
+    failures = []
+    for d in daemons:
+        budget = max(1.0, deadline - time.monotonic())
+        try:
+            code = d.proc.wait(timeout=budget)
+        except subprocess.TimeoutExpired:
+            d.proc.kill()
+            d.proc.wait()
+            failures.append(d)
+            continue
+        if code != 0:
+            failures.append(d)
+    return True, failures
+
+
+def check_reports(args):
+    """Chaos-counter assertions over the per-daemon run reports."""
+    impaired = 0
+    suspects = 0
+    alives = 0
+    for node in range(args.n):
+        path = os.path.join(args.report_dir, f"node{node}.report.json")
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        net = doc["run"].get("net")
+        if net is None:
+            raise SystemExit(f"{path}: udp run report lacks a net section")
+        imp = net["impairment"]
+        impaired += (imp["dropped"] + imp["duplicated"] + imp["reordered"]
+                     + imp["corrupted"] + imp["wire_corrupted"])
+        suspects += net["peer_health"]["suspect_transitions"]
+        alives += net["peer_health"]["alive_transitions"]
+    if (args.loss or args.dup or args.reorder or args.corrupt) \
+            and impaired == 0:
+        raise SystemExit("chaos: impairment configured but every report "
+                         "shows zero injected faults")
+    if args.kill_node >= 0:
+        gap = args.restart_after_s - args.kill_after_s
+        if gap > args.health_silence_s and suspects == 0:
+            raise SystemExit("chaos: a daemon was dead longer than the "
+                             "health silence timeout but no report counts "
+                             "a suspect transition")
+    print(f"chaos counters: {impaired} frames impaired, "
+          f"{suspects} suspect / {alives} alive transitions", flush=True)
 
 
 def main():
@@ -59,9 +231,33 @@ def main():
                         help="0 = derive from pid")
     parser.add_argument("--report-dir", default="",
                         help="also write per-node run reports here")
+    parser.add_argument("--startup-timeout-s", type=float, default=2.0,
+                        help="window in which an exiting daemon is treated "
+                             "as a startup failure (port retry)")
+    chaos = parser.add_argument_group("chaos")
+    chaos.add_argument("--loss", type=float, default=0.0,
+                       help="per-frame ingress drop probability")
+    chaos.add_argument("--dup", type=float, default=0.0)
+    chaos.add_argument("--reorder", type=float, default=0.0)
+    chaos.add_argument("--corrupt", type=float, default=0.0,
+                       help="egress datagram byte-flip probability")
+    chaos.add_argument("--delay-ms", type=int, default=0)
+    chaos.add_argument("--range-sync", action="store_true",
+                       help="enable range-sync on every node (and catch-up "
+                            "on the respawned one)")
+    chaos.add_argument("--health-silence-s", type=float, default=5.0)
+    chaos.add_argument("--kill-node", type=int, default=-1,
+                       help="SIGKILL this node mid-run (-1 = no kill; "
+                            "node 0 is the source and cannot be killed)")
+    chaos.add_argument("--kill-after-s", type=float, default=5.0)
+    chaos.add_argument("--restart-after-s", type=float, default=9.0)
     args = parser.parse_args()
 
-    base_port = args.base_port or pick_base_port()
+    if args.kill_node == 0:
+        raise SystemExit("--kill-node: node 0 is the workload source")
+    if args.kill_node >= args.n:
+        raise SystemExit("--kill-node: out of range")
+
     common = [
         f"--n={args.n}",
         f"--bcasts={args.bcasts}",
@@ -71,11 +267,27 @@ def main():
         f"--seed={args.seed}",
         f"--key-seed={args.key_seed}",
     ]
+    if args.range_sync:
+        common.append("--range-sync")
+    chaos_flags = []
+    if args.loss:
+        chaos_flags.append(f"--impair-drop={args.loss}")
+    if args.dup:
+        chaos_flags.append(f"--impair-dup={args.dup}")
+    if args.reorder:
+        chaos_flags.append(f"--impair-reorder={args.reorder}")
+    if args.corrupt:
+        chaos_flags.append(f"--impair-corrupt={args.corrupt}")
+    if args.delay_ms:
+        chaos_flags.append(f"--impair-delay-ms={args.delay_ms}")
+    chaos_flags.append(f"--health-silence-s={args.health_silence_s}")
+
     if args.report_dir:
         os.makedirs(args.report_dir, exist_ok=True)
 
     with tempfile.TemporaryDirectory(prefix="byzcast-live-") as tmp:
-        # 1. DES prediction (virtual time: completes immediately).
+        # 1. DES prediction (virtual time: completes immediately). Ideal
+        #    channel on purpose — chaos must not change what converges.
         expect_path = os.path.join(tmp, "expect.json")
         subprocess.run(
             [args.byzcastd, "--transport=sim",
@@ -84,23 +296,31 @@ def main():
         expected = load_deliveries(expect_path)
 
         # 2. Live fleet. Node 0 is the source; launch order is arbitrary
-        #    (the overlay warms up during --start-delay-s).
-        procs = []
-        for node in range(args.n):
-            cmd = [args.byzcastd, "--transport=udp", f"--id={node}",
-                   f"--base-port={base_port}",
-                   f"--deliveries={os.path.join(tmp, f'node{node}.json')}",
-                   *common]
-            if node == 0:
-                cmd.append("--source")
-            if args.report_dir:
-                cmd.append(f"--telemetry-ms=500")
-                cmd.append(
-                    f"--report={os.path.join(args.report_dir, f'node{node}.report.json')}")
-            procs.append(subprocess.Popen(cmd))
-        failures = [p.args[2] for p in procs if p.wait() != 0]
+        #    (the overlay warms up during --start-delay-s). A fleet whose
+        #    daemons die inside the startup window is assumed to have hit
+        #    a port collision and is relaunched on a fresh block.
+        for attempt in range(MAX_PORT_RETRIES):
+            base_port = args.base_port or pick_base_port(attempt)
+            started, failures = run_fleet(args, tmp, base_port, common,
+                                          chaos_flags)
+            if started:
+                break
+            print(f"startup failure on port block {base_port} "
+                  f"(attempt {attempt + 1}/{MAX_PORT_RETRIES}):",
+                  flush=True)
+            for d in failures:
+                print(d.diagnose(), flush=True)
+            if args.base_port:  # explicit port: retrying won't help
+                raise SystemExit("daemons died during startup")
+        else:
+            raise SystemExit(
+                f"daemons died during startup {MAX_PORT_RETRIES} times")
+
         if failures:
-            raise SystemExit(f"daemons exited nonzero: {failures}")
+            for d in failures:
+                print(d.diagnose(), flush=True)
+            raise SystemExit(
+                f"daemons exited nonzero: {[d.node for d in failures]}")
 
         observed = {}
         for node in range(args.n):
@@ -114,12 +334,21 @@ def main():
         if want != got:
             ok = False
             print(f"node {node}: MISMATCH\n  expected {want}\n  observed {got}")
-    if ok:
-        total = sum(len(v) for v in observed.values())
-        print(f"live harness OK: {args.n} nodes, {args.bcasts} broadcasts, "
-              f"{total} deliveries match the DES prediction")
-        return 0
-    return 1
+    if not ok:
+        return 1
+    if args.report_dir:
+        check_reports(args)
+    total = sum(len(v) for v in observed.values())
+    chaos_note = ""
+    if (args.loss or args.dup or args.reorder or args.corrupt
+            or args.delay_ms or args.kill_node >= 0):
+        chaos_note = (f" under chaos (loss={args.loss} dup={args.dup} "
+                      f"reorder={args.reorder} corrupt={args.corrupt}"
+                      + (f", node {args.kill_node} killed+respawned"
+                         if args.kill_node >= 0 else "") + ")")
+    print(f"live harness OK: {args.n} nodes, {args.bcasts} broadcasts, "
+          f"{total} deliveries match the DES prediction{chaos_note}")
+    return 0
 
 
 if __name__ == "__main__":

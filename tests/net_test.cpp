@@ -1,7 +1,8 @@
-// Tests for the net/ layer (DESIGN.md §13): datagram wire format,
-// IoLoop timers, the live UDP transport on loopback, and the guarantee
+// Tests for the net/ layer (DESIGN.md §13, §14): datagram wire format,
+// IoLoop timers, the live UDP transport on loopback, the guarantee
 // that the explicit Env/Transport wiring is byte-identical to the
-// legacy Simulator/Radio shim ctors.
+// legacy Simulator/Radio shim ctors, the deterministic impairment
+// decorator, and the PeerHealth liveness tracker.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -18,12 +19,15 @@
 #include "des/simulator.h"
 #include "mobility/static_mobility.h"
 #include "net/datagram.h"
+#include "net/impairment.h"
 #include "net/io_loop.h"
+#include "net/peer_health.h"
 #include "net/sim_backend.h"
 #include "net/timer.h"
 #include "net/udp_backend.h"
 #include "radio/medium.h"
 #include "radio/propagation.h"
+#include "sim/network_builder.h"
 #include "sim/runner.h"
 
 namespace byzcast::net {
@@ -310,6 +314,281 @@ TEST(SimBackendTest, TransportExposesRadioIdentity) {
   radio::Radio radio(medium, 5, still, 100);
   SimTransport transport(radio);
   EXPECT_EQ(transport.local_id(), 5u);
+}
+
+// --- ImpairedTransport -----------------------------------------------------
+
+/// A transport whose ingress the test drives by hand and whose egress it
+/// records — the minimal inner for decorator tests.
+class ScriptedTransport final : public Transport {
+ public:
+  void send(util::Buffer payload) override {
+    sent.push_back(std::move(payload));
+  }
+  void set_receive_handler(ReceiveHandler handler) override {
+    handler_ = std::move(handler);
+  }
+  [[nodiscard]] NodeId local_id() const override { return 0; }
+
+  void inject(NodeId sender, std::initializer_list<std::uint8_t> bytes) {
+    radio::Frame frame;
+    frame.sender = sender;
+    frame.payload = util::Buffer(bytes);
+    if (handler_) handler_(frame);
+  }
+
+  std::vector<util::Buffer> sent;
+
+ private:
+  ReceiveHandler handler_;
+};
+
+TEST(ImpairmentTest, FlipRandomByteChangesExactlyOneByte) {
+  des::Rng rng(3);
+  std::vector<std::uint8_t> bytes(16, 0x55);
+  flip_random_byte(bytes.data(), bytes.size(), rng);
+  int changed = 0;
+  for (std::uint8_t b : bytes) changed += b != 0x55;
+  EXPECT_EQ(changed, 1);
+  flip_random_byte(nullptr, 0, rng);  // empty span: must not crash
+}
+
+TEST(ImpairmentTest, InertConfigForwardsSynchronously) {
+  des::Simulator sim(1);
+  ScriptedTransport inner;
+  ImpairedTransport impaired(sim, inner, ImpairmentConfig{});
+  int got = 0;
+  impaired.set_receive_handler([&](const radio::Frame&) { ++got; });
+  inner.inject(2, {1, 2, 3});
+  // No timer hop for the unimpaired path: the handler already ran.
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(sim.events_executed(), 0u);
+  EXPECT_EQ(impaired.stats().forwarded, 1u);
+  EXPECT_EQ(impaired.stats().impaired(), 0u);
+}
+
+TEST(ImpairmentTest, CertainDropDeliversNothing) {
+  des::Simulator sim(1);
+  ScriptedTransport inner;
+  ImpairmentConfig config;
+  config.link.drop = 1.0;
+  ImpairedTransport impaired(sim, inner, config);
+  int got = 0;
+  impaired.set_receive_handler([&](const radio::Frame&) { ++got; });
+  for (int i = 0; i < 10; ++i) inner.inject(1, {42});
+  sim.run_until(des::seconds(1));
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(impaired.stats().dropped, 10u);
+  EXPECT_EQ(impaired.stats().forwarded, 0u);
+}
+
+TEST(ImpairmentTest, CertainDuplicateDeliversTwice) {
+  des::Simulator sim(1);
+  ScriptedTransport inner;
+  ImpairmentConfig config;
+  config.link.duplicate = 1.0;
+  ImpairedTransport impaired(sim, inner, config);
+  int got = 0;
+  impaired.set_receive_handler([&](const radio::Frame&) { ++got; });
+  inner.inject(1, {42});
+  sim.run_until(des::seconds(1));
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(impaired.stats().duplicated, 1u);
+}
+
+TEST(ImpairmentTest, PerPeerOverrideSingsOutOneSender) {
+  des::Simulator sim(1);
+  ScriptedTransport inner;
+  ImpairmentConfig config;
+  config.per_peer[7].drop = 1.0;  // only frames claiming sender 7 vanish
+  ImpairedTransport impaired(sim, inner, config);
+  std::vector<NodeId> got;
+  impaired.set_receive_handler(
+      [&](const radio::Frame& f) { got.push_back(f.sender); });
+  inner.inject(7, {1});
+  inner.inject(3, {1});
+  sim.run_until(des::seconds(1));
+  EXPECT_EQ(got, (std::vector<NodeId>{3}));
+  EXPECT_EQ(impaired.stats().dropped, 1u);
+}
+
+TEST(ImpairmentTest, CorruptedPayloadRejectedByProtocolParse) {
+  // End-to-end over the DES: with every frame's payload corrupted, no
+  // protocol message survives the strict parse, so nothing is delivered
+  // — but nothing crashes either.
+  sim::ScenarioConfig config;
+  config.seed = 11;
+  config.n = 8;
+  config.area = {100, 100};
+  config.num_broadcasts = 3;
+  config.impairment.link.corrupt = 1.0;
+  sim::Network network(config);
+  sim::RunResult result = sim::run_workload(network);
+  EXPECT_EQ(result.metrics.delivery_ratio(), 0.0);
+  EXPECT_GT(network.impairment_stats().corrupted, 0u);
+}
+
+/// One impaired workload run; returns (delivery_ratio, events, stats).
+struct ImpairedRun {
+  double ratio = 0;
+  std::uint64_t events = 0;
+  ImpairmentStats stats;
+};
+
+ImpairedRun run_impaired(std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.seed = seed;
+  config.n = 20;
+  config.area = {200, 200};
+  config.num_broadcasts = 5;
+  config.impairment.link.drop = 0.2;
+  config.impairment.link.duplicate = 0.05;
+  config.impairment.link.reorder = 0.1;
+  config.impairment.link.delay_max = des::millis(5);
+  sim::Network network(config);
+  ImpairedRun run;
+  run.ratio = sim::run_workload(network).metrics.delivery_ratio();
+  run.events = network.simulator().events_executed();
+  run.stats = network.impairment_stats();
+  return run;
+}
+
+TEST(ImpairmentTest, ImpairedDesRunIsSeedDeterministic) {
+  ImpairedRun a = run_impaired(5);
+  ImpairedRun b = run_impaired(5);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.ratio, b.ratio);
+  EXPECT_EQ(a.stats.dropped, b.stats.dropped);
+  EXPECT_EQ(a.stats.duplicated, b.stats.duplicated);
+  EXPECT_EQ(a.stats.reordered, b.stats.reordered);
+  EXPECT_EQ(a.stats.delayed, b.stats.delayed);
+  // The adversary actually did something...
+  EXPECT_GT(a.stats.dropped, 0u);
+  EXPECT_GT(a.stats.duplicated, 0u);
+  // ...and the protocol's recovery machinery still delivered everything.
+  EXPECT_EQ(a.ratio, 1.0);
+
+  ImpairedRun c = run_impaired(6);  // different seed, different coin flips
+  EXPECT_NE(a.stats.dropped, c.stats.dropped);
+}
+
+// --- wire-level corruption (UDP mangler) -----------------------------------
+
+TEST(UdpTransportTest, WireManglerCorruptionRejectedByDecode) {
+  const std::uint16_t base = static_cast<std::uint16_t>(test_base_port() + 4);
+  IoLoop loop(1);
+  std::vector<UdpPeer> peers{{0, "127.0.0.1", base},
+                             {1, "127.0.0.1", static_cast<std::uint16_t>(
+                                                  base + 1)}};
+  UdpTransport sender(loop, 0, "127.0.0.1", base, peers);
+  UdpTransport receiver(loop, 1, "127.0.0.1",
+                        static_cast<std::uint16_t>(base + 1), peers);
+
+  // Certain corruption of the magic byte: every datagram must fail the
+  // receiver's strict 'BZC1' decode and be counted, never delivered.
+  sender.set_wire_mangler(
+      [](std::vector<std::uint8_t>& bytes) { bytes[0] ^= 0xFF; });
+  int delivered = 0;
+  receiver.set_receive_handler([&](const radio::Frame&) { ++delivered; });
+
+  constexpr int kSends = 5;
+  loop.schedule_after(0, [&] {
+    for (int i = 0; i < kSends; ++i) sender.send(util::Buffer({9, 9, 9}));
+  });
+  loop.schedule_after(des::millis(300), [&] { loop.stop(); });
+  loop.run_for(des::seconds(5));
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(sender.datagrams_sent(), static_cast<std::uint64_t>(kSends));
+  EXPECT_EQ(receiver.datagrams_rejected(),
+            static_cast<std::uint64_t>(kSends));
+}
+
+TEST(UdpTransportTest, RetryCountersStartClean) {
+  const std::uint16_t base = static_cast<std::uint16_t>(test_base_port() + 6);
+  IoLoop loop(1);
+  std::vector<UdpPeer> peers{{0, "127.0.0.1", base}};
+  UdpTransport transport(loop, 0, "127.0.0.1", base, peers);
+  // Loopback sends don't hit EAGAIN at this rate: the transient-error
+  // path stays untouched and every counter reads zero.
+  transport.send(util::Buffer({1}));
+  loop.run_for(des::millis(50));
+  EXPECT_EQ(transport.send_errors(), 0u);
+  EXPECT_EQ(transport.send_retries(), 0u);
+  EXPECT_EQ(transport.send_drops(), 0u);
+  EXPECT_EQ(transport.pending_retries(), 0u);
+}
+
+// --- PeerHealth ------------------------------------------------------------
+
+TEST(PeerHealthTest, SilenceSuspectsAndFrameRevives) {
+  des::Simulator sim(1);
+  PeerHealthConfig config;
+  config.silence_timeout = des::seconds(5);
+  config.check_period = des::seconds(1);
+  PeerHealth health(sim, {1, 2}, config);
+  std::vector<NodeId> suspected, revived;
+  health.set_on_suspect([&](NodeId id) { suspected.push_back(id); });
+  health.set_on_alive([&](NodeId id) { revived.push_back(id); });
+  health.start();
+
+  // Peer 1 beacons every second; peer 2 goes silent after t=2s.
+  for (int s = 1; s <= 10; ++s) {
+    sim.schedule_at(des::seconds(s), [&] { health.on_frame_from(1); });
+  }
+  sim.schedule_at(des::seconds(2), [&] { health.on_frame_from(2); });
+  sim.run_until(des::seconds(10));
+
+  EXPECT_EQ(suspected, (std::vector<NodeId>{2}));
+  EXPECT_TRUE(health.suspected(2));
+  EXPECT_FALSE(health.suspected(1));
+  EXPECT_EQ(health.suspect_transitions(), 1u);
+
+  // The peer comes back: one frame flips it alive again, edge-triggered.
+  sim.schedule_at(des::seconds(11), [&] { health.on_frame_from(2); });
+  sim.run_until(des::seconds(12));
+  EXPECT_EQ(revived, (std::vector<NodeId>{2}));
+  EXPECT_FALSE(health.suspected(2));
+  EXPECT_EQ(health.alive_transitions(), 1u);
+  health.stop();
+}
+
+TEST(PeerHealthTest, ConsecutiveSendErrorsSuspect) {
+  des::Simulator sim(1);
+  PeerHealthConfig config;
+  config.send_error_threshold = 3;
+  config.silence_timeout = des::seconds(1000);  // isolate the error path
+  PeerHealth health(sim, {4}, config);
+  std::vector<NodeId> suspected;
+  health.set_on_suspect([&](NodeId id) { suspected.push_back(id); });
+  health.start();
+
+  // A success in between resets the streak...
+  health.on_send_error(4);
+  health.on_send_error(4);
+  health.on_send_ok(4);
+  health.on_send_error(4);
+  health.on_send_error(4);
+  EXPECT_TRUE(suspected.empty());
+  // ...so only the third *consecutive* error trips the threshold.
+  health.on_send_error(4);
+  EXPECT_EQ(suspected, (std::vector<NodeId>{4}));
+  EXPECT_EQ(health.total_send_errors(), 5u);
+  const PeerHealth::PeerStats* stats = health.peer(4);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->consecutive_send_errors, 3);
+  health.stop();
+}
+
+TEST(PeerHealthTest, UnknownPeerIsIgnored) {
+  des::Simulator sim(1);
+  PeerHealth health(sim, {1}, PeerHealthConfig{});
+  health.start();
+  health.on_frame_from(99);  // not tracked: must be a safe no-op
+  health.on_send_error(99);
+  EXPECT_EQ(health.peer(99), nullptr);
+  EXPECT_FALSE(health.suspected(99));
+  health.stop();
 }
 
 }  // namespace
