@@ -38,6 +38,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <fstream>
 #include <iostream>
@@ -54,13 +55,16 @@
 #include "net/io_loop.h"
 #include "net/peer_health.h"
 #include "net/sim_backend.h"
+#include "net/timer.h"
 #include "net/udp_backend.h"
+#include "obs/msg_trace.h"
 #include "obs/run_report.h"
 #include "obs/timeline.h"
 #include "radio/medium.h"
 #include "sim/runner.h"
 #include "sync/sync.h"
 #include "util/cli.h"
+#include "util/json.h"
 
 namespace {
 
@@ -84,6 +88,14 @@ struct Options {
   std::string deliveries_path;
   std::string report_path;
   des::SimDuration telemetry_interval = 0;
+  /// Message-lifecycle trace destination (DESIGN.md §15): one JSONL
+  /// file per daemon (wall-anchored) or per sim prediction (sim clock).
+  std::string trace_msgs_path;
+  /// Periodic stats snapshot stream (udp mode): JSONL, one line per
+  /// stats_interval tick, flushed per line so a SIGKILLed daemon still
+  /// leaves a usable prefix behind.
+  std::string stats_path;
+  des::SimDuration stats_interval = des::millis(500);
   /// Ingress frame impairment (udp mode only; sim predictions stay
   /// ideal-channel so they remain the convergence target).
   net::ImpairmentConfig impairment;
@@ -111,7 +123,8 @@ using DeliverySet = std::set<std::pair<NodeId, std::uint32_t>>;
 /// sim prediction passes all n.
 void write_deliveries(std::ostream& os, const Options& opt,
                       const std::map<NodeId, DeliverySet>& nodes) {
-  os << "{\n  \"schema\": \"byzcast-deliveries/v1\",\n";
+  os << "{\n  \"schema\": " << util::json_quote("byzcast-deliveries/v1")
+     << ",\n";
   os << "  \"n\": " << opt.n << ",\n";
   // sim mode predicts the whole fleet with node 0 broadcasting; a live
   // daemon only knows whether *it* is the source (-1 = some other node).
@@ -189,6 +202,26 @@ void write_deliveries_file(const Options& opt,
   write_deliveries(file, opt, nodes);
 }
 
+std::uint64_t unix_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void write_msg_trace_file(const Options& opt,
+                          const obs::MsgTraceRecorder& recorder) {
+  if (opt.trace_msgs_path.empty()) return;
+  std::ofstream file(opt.trace_msgs_path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw std::invalid_argument("--trace-msgs: cannot open " +
+                                opt.trace_msgs_path);
+  }
+  recorder.write_jsonl(file);
+  std::fprintf(stderr, "byzcastd: message trace written to %s (%zu events)\n",
+               opt.trace_msgs_path.c_str(), recorder.events().size());
+}
+
 // ---------------------------------------------------------------------------
 // --transport=sim: the DES prediction. One process simulates the whole
 // fleet under ideal-channel conditions (no collisions, no loss, all
@@ -205,6 +238,18 @@ int run_sim_prediction(const Options& opt) {
   mc.base_loss_prob = 0.0;
   radio::Medium medium(sim, std::make_unique<radio::UnitDisk>(), mc,
                        &metrics);
+
+  // Whole-fleet message trace on the sim clock (anchor node = -1): sim
+  // time is already fleet-global, so one recorder serves every node —
+  // and the per-message event cap, a per-node budget, scales by n.
+  obs::MsgTraceConfig trace_config;
+  trace_config.max_events_per_message *= opt.n;
+  obs::MsgTraceRecorder msg_trace(trace_config);
+  {
+    obs::MsgTraceAnchor anchor;
+    anchor.n = static_cast<std::uint32_t>(opt.n);
+    msg_trace.set_anchor(anchor);
+  }
 
   std::vector<std::unique_ptr<mobility::MobilityModel>> mobility;
   std::vector<std::unique_ptr<radio::Radio>> radios;
@@ -226,6 +271,9 @@ int run_sim_prediction(const Options& opt) {
                          std::span<const std::uint8_t>) {
           delivered[id].emplace(mid.origin, mid.seq);
         });
+    if (!opt.trace_msgs_path.empty()) {
+      nodes.back()->set_msg_trace(&msg_trace);
+    }
     nodes.back()->start();
     delivered[id];  // every node appears, even with an empty set
   }
@@ -248,6 +296,7 @@ int run_sim_prediction(const Options& opt) {
   sim.run_until(opt.duration);
 
   write_deliveries_file(opt, delivered);
+  write_msg_trace_file(opt, msg_trace);
   if (!opt.report_path.empty()) {
     if (timeline) timeline->sample_now();
     sim::RunResult result;
@@ -311,6 +360,24 @@ int run_udp_daemon(const Options& opt) {
   }
 
   core::ByzcastNode node(loop, *path, pki, signer, opt.protocol, &metrics);
+
+  // Message-lifecycle trace, wall-anchored: the IoLoop clock starts at
+  // this daemon's boot, so the anchor pairs env-now with unix-now at the
+  // same instant and byztrace rebases every daemon onto the shared wall
+  // clock. A respawned daemon re-anchors at its new boot — correct, its
+  // clock restarted too.
+  obs::MsgTraceRecorder msg_trace;
+  if (!opt.trace_msgs_path.empty()) {
+    obs::MsgTraceAnchor anchor;
+    anchor.node = opt.id;
+    anchor.n = static_cast<std::uint32_t>(opt.n);
+    anchor.wall_clock = true;
+    anchor.anchor_env = loop.now();
+    anchor.anchor_unix_us = unix_now_us();
+    msg_trace.set_anchor(anchor);
+    node.set_msg_trace(&msg_trace);
+  }
+
   std::map<NodeId, DeliverySet> delivered;
   delivered[opt.id];
   node.set_accept_handler(
@@ -376,7 +443,54 @@ int run_udp_daemon(const Options& opt) {
   if (opt.telemetry_interval > 0) {
     timeline.emplace(loop, metrics, opt.telemetry_interval);
     timeline->add_source("node" + std::to_string(opt.id), node);
+    // Transport-level rows (DESIGN.md §15 satellite): peer health and —
+    // when the ingress is impaired — the decorator's chaos counters,
+    // sampled per tick so --report artifacts show when the chaos hit.
+    timeline->add_source("health", health);
+    if (impaired) timeline->add_source("impair", *impaired);
     timeline->start();
+  }
+
+  // Periodic stats snapshot stream ("byzcast-stats/v1"): an anchor line
+  // then one JSONL snapshot per tick, flushed per line — the live
+  // harness aggregates these into a fleet timeline, and a SIGKILLed
+  // daemon still leaves its prefix behind.
+  std::ofstream stats_file;
+  std::optional<net::PeriodicTimer> stats_timer;
+  auto write_stats_line = [&] {
+    stats_file << "{\"t_us\":" << loop.now()
+               << ",\"unix_us\":" << unix_now_us()
+               << ",\"delivered\":" << delivered[opt.id].size()
+               << ",\"store\":" << node.store().size()
+               << ",\"pending_requests\":" << node.pending_request_count()
+               << ",\"datagrams_sent\":" << transport.datagrams_sent()
+               << ",\"datagrams_received\":" << transport.datagrams_received()
+               << ",\"datagrams_rejected\":" << transport.datagrams_rejected()
+               << ",\"send_errors\":" << transport.send_errors()
+               << ",\"send_retries\":" << transport.send_retries()
+               << ",\"send_drops\":" << transport.send_drops()
+               << ",\"impaired\":"
+               << (impaired ? impaired->stats().impaired() : 0)
+               << ",\"wire_corrupted\":" << wire_corrupted
+               << ",\"health_suspects\":" << health.suspects().size()
+               << ",\"health_suspect_transitions\":"
+               << health.suspect_transitions() << "}\n";
+    stats_file.flush();
+  };
+  if (!opt.stats_path.empty()) {
+    stats_file.open(opt.stats_path, std::ios::binary | std::ios::trunc);
+    if (!stats_file) {
+      throw std::invalid_argument("--stats-out: cannot open " +
+                                  opt.stats_path);
+    }
+    stats_file << "{\"schema\":" << util::json_quote("byzcast-stats/v1")
+               << ",\"node\":" << opt.id << ",\"n\":" << opt.n
+               << ",\"anchor_env_us\":" << loop.now()
+               << ",\"anchor_unix_us\":" << unix_now_us()
+               << ",\"period_us\":" << opt.stats_interval << "}\n";
+    stats_file.flush();
+    stats_timer.emplace(loop, opt.stats_interval, write_stats_line);
+    stats_timer->start();
   }
 
   if (opt.source) {
@@ -395,6 +509,10 @@ int run_udp_daemon(const Options& opt) {
   loop.unwatch_fd(sig_pipe[0]);
   ::close(sig_pipe[0]);
   ::close(sig_pipe[1]);
+  if (stats_timer) {
+    stats_timer->stop();
+    write_stats_line();  // closing snapshot with the final counters
+  }
   health.stop();
   node.stop();
 
@@ -419,6 +537,7 @@ int run_udp_daemon(const Options& opt) {
   net.health_suspected_at_end = health.suspects().size();
 
   write_deliveries_file(opt, delivered);
+  write_msg_trace_file(opt, msg_trace);
   if (!opt.report_path.empty()) {
     if (timeline) timeline->sample_now();
     sim::RunResult result;
@@ -493,7 +612,12 @@ int main(int argc, char** argv) try {
       .add_flag("report", "",
                 "write a byzcast-run-report/v1 JSON here (- = stdout)")
       .add_flag("telemetry-ms", 0.0,
-                "flight-recorder sampling period (0 = off)");
+                "flight-recorder sampling period (0 = off)")
+      .add_flag("trace-msgs", "",
+                "write a byzcast-msg-trace/v1 JSONL lifecycle trace here")
+      .add_flag("stats-out", "",
+                "stream periodic byzcast-stats/v1 JSONL snapshots here (udp)")
+      .add_flag("stats-ms", 500, "stats snapshot period");
   if (args.handle_help("byzcastd", std::cout)) return 0;
 
   Options opt;
@@ -517,6 +641,10 @@ int main(int argc, char** argv) try {
       static_cast<std::uint64_t>(args.get_int("hello-ms")));
   opt.deliveries_path = args.get_str("deliveries");
   opt.report_path = args.get_str("report");
+  opt.trace_msgs_path = args.get_str("trace-msgs");
+  opt.stats_path = args.get_str("stats-out");
+  opt.stats_interval =
+      des::millis(static_cast<std::uint64_t>(args.get_int("stats-ms")));
   opt.telemetry_interval =
       des::from_seconds(args.get_double("telemetry-ms") / 1e3);
   opt.protocol.sync.enabled = args.get_bool("range-sync");
@@ -535,6 +663,11 @@ int main(int argc, char** argv) try {
 
   if (opt.n == 0 || opt.id >= opt.n) {
     throw std::invalid_argument("--id must be < --n");
+  }
+  if (opt.transport == "sim" && !opt.stats_path.empty()) {
+    // The stats stream samples a live daemon's wall clock; the DES
+    // prediction has --report for its (virtual-time) flight recorder.
+    throw std::invalid_argument("--stats-out requires --transport=udp");
   }
   if (opt.transport == "sim") return run_sim_prediction(opt);
   if (opt.transport == "udp") return run_udp_daemon(opt);

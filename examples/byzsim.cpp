@@ -165,6 +165,26 @@ int main(int argc, char** argv) try {
   config.impairment.link.delay_max =
       des::millis(static_cast<std::uint64_t>(args.get_int("impair-delay-ms", 0)));
 
+  // Asymmetric per-link rules layered on the base impairment: inline
+  // `;`-separated rules, or @FILE to read one rule per line. Example:
+  //   --impair-matrix='1<-0 drop=1; *<-5 dup=0.2'
+  // makes node 1 deaf to node 0 and duplicates everything node 5 sends.
+  std::string impair_matrix = args.get_str("impair-matrix", "");
+  if (!impair_matrix.empty()) {
+    std::string spec = impair_matrix;
+    if (spec[0] == '@') {
+      std::ifstream file(spec.substr(1));
+      if (!file) {
+        throw std::invalid_argument("--impair-matrix: cannot open " +
+                                    spec.substr(1));
+      }
+      std::ostringstream text;
+      text << file.rdbuf();
+      spec = text.str();
+    }
+    config.impairment_matrix = net::parse_impairment_matrix(spec);
+  }
+
   // Fault schedule (sim/fault.h documents the line format):
   //   ./byzsim --fault-script=faults.txt
   // with faults.txt containing e.g. "t=10 crash node=3".
@@ -188,6 +208,14 @@ int main(int argc, char** argv) try {
   std::string trace_out = args.get_str("trace-out", "");
   if (!trace_out.empty() && trace_format.empty()) trace_format = "text";
   config.enable_trace = !trace_format.empty();
+
+  // Fleet-wide message-lifecycle trace (DESIGN.md §15): one JSONL file
+  // for the whole DES fleet, mergeable by byztrace with live-daemon
+  // traces of the same schema. --trace-sample keeps 1-in-N messages.
+  std::string trace_msgs = args.get_str("trace-msgs", "");
+  config.enable_msg_trace = !trace_msgs.empty();
+  config.msg_trace.sample_every =
+      static_cast<std::uint32_t>(args.get_int("trace-sample", 1));
 
   // Flight recorder / run report (DESIGN.md §10): --report writes the
   // unified JSON artifact ("-" = stdout); telemetry sampling defaults on
@@ -232,6 +260,16 @@ int main(int argc, char** argv) try {
                  trace_out.c_str(), network.trace().size());
   }
 
+  if (!trace_msgs.empty()) {
+    std::ofstream file(trace_msgs, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      throw std::invalid_argument("--trace-msgs: cannot open " + trace_msgs);
+    }
+    network.msg_trace().write_jsonl(file);
+    std::fprintf(stderr, "byzsim: message trace written to %s (%zu events)\n",
+                 trace_msgs.c_str(), network.msg_trace().events().size());
+  }
+
   util::Table table({"metric", "value"});
   auto add = [&](const char* name, util::Cell value) {
     table.add_row({std::string(name), std::move(value)});
@@ -270,7 +308,7 @@ int main(int argc, char** argv) try {
     add("overlay_size", static_cast<std::int64_t>(result.overlay_size_end));
     add("overlay_healthy", std::string(result.overlay_healthy_end ? "yes" : "no"));
   }
-  if (config.impairment.any()) {
+  if (config.impairment.any() || config.impairment_matrix.any()) {
     net::ImpairmentStats imp = network.impairment_stats();
     add("impair_forwarded", static_cast<std::int64_t>(imp.forwarded));
     add("impair_dropped", static_cast<std::int64_t>(imp.dropped));

@@ -245,6 +245,7 @@ void ByzcastNode::broadcast(std::vector<std::uint8_t> payload) {
                            targets_);
   }
   trace_event(trace::EventKind::kBroadcast, kInvalidNode, mid);
+  msg_event(obs::MsgEventKind::kBroadcast, mid);
   send_frame(stats::MsgKind::kData, msg.wire);  // line 3: broadcast(m, DATA)
   gossip_queue_.enqueue(msg.gossip_entry());  // line 4: lazycast(gossip)
 }
@@ -301,10 +302,13 @@ void ByzcastNode::handle_data(const DataMsg& msg, NodeId from) {
     return;
   }
 
+  msg_event(obs::MsgEventKind::kFirstHeard, msg.id, from);
   if (!verify_data(msg)) {  // lines 22-24
+    msg_event(obs::MsgEventKind::kRejected, msg.id, from);
     suspect(from, fd::SuspicionReason::kBadSignature);
     return;
   }
+  msg_event(obs::MsgEventKind::kVerified, msg.id, from);
   accept_and_forward(msg, from);
 }
 
@@ -314,6 +318,7 @@ void ByzcastNode::accept_and_forward(const DataMsg& msg, NodeId from) {
 
   if (store_.mark_accepted(msg.id)) {  // line 7: Accept(p_i, p_j, message)
     trace_event(trace::EventKind::kAccept, from, msg.id);
+    msg_event(obs::MsgEventKind::kDelivered, msg.id, from);
     if (metrics_ != nullptr) {
       metrics_->on_accept(stats::MessageKey{msg.id.origin, msg.id.seq}, id(),
                           env_.now());
@@ -352,11 +357,13 @@ void ByzcastNode::accept_and_forward(const DataMsg& msg, NodeId from) {
   if (stored != nullptr && !stored->gossip_enqueued) {
     stored->gossip_enqueued = true;
     trace_event(trace::EventKind::kGossipRelay, kInvalidNode, msg.id);
+    msg_event(obs::MsgEventKind::kGossiped, msg.id);
     gossip_queue_.enqueue(msg.gossip_entry());
   }
 }
 
 void ByzcastNode::admit_synced(const DataMsg& msg, NodeId from) {
+  msg_event(obs::MsgEventKind::kSyncPulled, msg.id, from);
   store_.insert(msg, env_.now());
   store_.mark_gossip_seen(msg.id);
   // No forward, no lazycast: everyone else already has this message —
@@ -367,6 +374,7 @@ void ByzcastNode::admit_synced(const DataMsg& msg, NodeId from) {
   }
   if (store_.mark_accepted(msg.id)) {
     trace_event(trace::EventKind::kAccept, from, msg.id);
+    msg_event(obs::MsgEventKind::kDelivered, msg.id, from);
     if (metrics_ != nullptr) {
       metrics_->on_accept(stats::MessageKey{msg.id.origin, msg.id.seq}, id(),
                           env_.now());
@@ -399,6 +407,7 @@ void ByzcastNode::handle_gossip(const GossipMsg& msg, NodeId from) {
     verbose_.observe(header, from);
 
     if (!verify_gossip_entry(entry)) {  // lines 39-41
+      msg_event(obs::MsgEventKind::kRejected, entry.id, from);
       suspect(from, fd::SuspicionReason::kBadSignature);
       continue;
     }
@@ -463,6 +472,7 @@ void ByzcastNode::handle_gossip(const GossipMsg& msg, NodeId from) {
       mute_.expect(data_pattern(entry.id), {from}, fd::MuteFd::Mode::kOne,
                    fd::MuteFd::Satisfy::kAnySender);
       trace_event(trace::EventKind::kRequestSent, from, entry.id);
+      msg_event(obs::MsgEventKind::kRequested, entry.id, from);
       send_packet(RequestMsg{entry, from});  // line 32
     });
   }
@@ -723,6 +733,7 @@ void ByzcastNode::retry_pending_requests() {
           pending.gossipers[pending.next_target % pending.gossipers.size()];
       ++pending.next_target;
       trace_event(trace::EventKind::kRequestSent, target, it->first);
+      msg_event(obs::MsgEventKind::kRequested, it->first, target);
       send_packet(RequestMsg{pending.entry, target});
       pending.next_delay = pending.backoff.next_delay(rng_);
     }

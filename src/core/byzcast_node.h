@@ -37,6 +37,7 @@
 #include "fd/trust_fd.h"
 #include "fd/verbose_fd.h"
 #include "obs/gauge.h"
+#include "obs/msg_trace.h"
 #include "overlay/neighbor_table.h"
 #include "overlay/overlay.h"
 #include "radio/radio.h"
@@ -103,6 +104,12 @@ class ByzcastNode : public obs::GaugeSource {
   }
   /// Installs a structured event recorder (nullptr disables; default).
   void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+  /// Installs a message-lifecycle recorder (obs/msg_trace.h; nullptr
+  /// disables; default). Purely passive — no timers, no rng draws — so
+  /// trace-on runs stay event-identical to trace-off runs.
+  void set_msg_trace(obs::MsgTraceRecorder* recorder) {
+    msg_trace_ = recorder;
+  }
   /// Number of nodes that should accept our broadcasts (correct nodes
   /// minus us); only used for Metrics::on_broadcast bookkeeping.
   void set_expected_targets(std::size_t targets) { targets_ = targets; }
@@ -194,6 +201,14 @@ class ByzcastNode : public obs::GaugeSource {
                                 id.origin, id.seq, a});
   }
 
+  /// Records a message-lifecycle station when fleet tracing is enabled.
+  void msg_event(obs::MsgEventKind kind, const MessageId& id,
+                 NodeId peer = kInvalidNode) {
+    if (msg_trace_ == nullptr) return;
+    msg_trace_->record(env_.now(), kind, signer_.id(), id.origin, id.seq,
+                       peer);
+  }
+
   net::Env& env_;
   net::Transport& transport_;
   const crypto::Pki& pki_;
@@ -201,6 +216,7 @@ class ByzcastNode : public obs::GaugeSource {
   ProtocolConfig config_;
   stats::Metrics* metrics_;
   trace::TraceRecorder* trace_ = nullptr;
+  obs::MsgTraceRecorder* msg_trace_ = nullptr;
   des::Rng rng_;
 
   MessageStore store_;

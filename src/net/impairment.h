@@ -31,11 +31,14 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "des/rng.h"
 #include "net/env.h"
 #include "net/transport.h"
+#include "obs/gauge.h"
 
 namespace byzcast::net {
 
@@ -82,6 +85,39 @@ struct ImpairmentConfig {
   }
 };
 
+/// Asymmetric per-link impairment: a list of (receiver, sender) rules
+/// that specialize the fleet's base ImpairmentConfig per *direction* —
+/// "1<-0 drop=1" makes node 1 deaf to node 0 while node 0 still hears
+/// node 1 (the PR 9 follow-up: A hears B but not vice versa). Either
+/// side of a rule may be the wildcard `*`; wildcard-dst rules apply
+/// before exact-dst rules and a rule with an exact src lands in the
+/// receiver's per_peer map (which beats its base link), so the most
+/// specific rule always wins.
+struct ImpairmentMatrix {
+  struct Rule {
+    NodeId dst = kInvalidNode;  ///< receiver; kInvalidNode = every node
+    NodeId src = kInvalidNode;  ///< sender; kInvalidNode = base link
+    LinkImpairment link;
+  };
+  std::vector<Rule> rules;
+
+  [[nodiscard]] bool any() const {
+    for (const Rule& rule : rules) {
+      if (rule.link.any()) return true;
+    }
+    return false;
+  }
+
+  /// Folds every rule matching receiver `dst` into `config`.
+  void apply_to(NodeId dst, ImpairmentConfig& config) const;
+};
+
+/// Parses a matrix spec: rules separated by newlines or `;`, each
+/// `DST<-SRC key=value ...` with `*` wildcards and keys drop, dup,
+/// reorder, corrupt, delay-ms, delay-min-ms, hold-ms. `#` starts a
+/// comment. Throws std::invalid_argument on malformed input.
+ImpairmentMatrix parse_impairment_matrix(const std::string& spec);
+
 /// What the decorator did, for run reports and convergence assertions.
 struct ImpairmentStats {
   std::uint64_t forwarded = 0;   ///< frames that reached the handler
@@ -101,7 +137,7 @@ struct ImpairmentStats {
 /// wire-level datagram mangling in byzcastd.
 void flip_random_byte(std::uint8_t* data, std::size_t size, des::Rng& rng);
 
-class ImpairedTransport final : public Transport {
+class ImpairedTransport final : public Transport, public obs::GaugeSource {
  public:
   /// Interposes on `inner`'s receive path. `inner` and `env` must outlive
   /// the decorator. Draws one rng split from `env` (see file comment).
@@ -117,6 +153,11 @@ class ImpairedTransport final : public Transport {
 
   [[nodiscard]] const ImpairmentStats& stats() const { return stats_; }
   [[nodiscard]] const ImpairmentConfig& config() const { return config_; }
+
+  /// Flight-recorder row: the cumulative decorator counters, so the
+  /// Timeline's per-tick deltas show *when* the chaos hit, not just the
+  /// end-of-run totals.
+  void poll_gauges(obs::GaugeVisitor& visitor) const override;
 
  private:
   void on_frame(const radio::Frame& frame);

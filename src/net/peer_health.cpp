@@ -75,6 +75,20 @@ void PeerHealth::check_silence() {
   }
 }
 
+void PeerHealth::poll_gauges(obs::GaugeVisitor& visitor) const {
+  std::int64_t suspects = 0;
+  for (const auto& [id, stats] : peers_) {
+    if (stats.state == State::kSuspect) ++suspects;
+  }
+  visitor.gauge("health_suspects", suspects);
+  visitor.gauge("health_suspect_transitions",
+                static_cast<std::int64_t>(suspect_transitions_));
+  visitor.gauge("health_alive_transitions",
+                static_cast<std::int64_t>(alive_transitions_));
+  visitor.gauge("health_send_errors",
+                static_cast<std::int64_t>(total_send_errors_));
+}
+
 void PeerHealth::transition(NodeId id, PeerStats& stats, State to) {
   stats.state = to;
   if (to == State::kSuspect) {

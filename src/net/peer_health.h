@@ -24,6 +24,7 @@
 
 #include "net/env.h"
 #include "net/timer.h"
+#include "obs/gauge.h"
 #include "util/node_id.h"
 
 namespace byzcast::net {
@@ -40,7 +41,7 @@ struct PeerHealthConfig {
   des::SimDuration check_period = des::seconds(1);
 };
 
-class PeerHealth {
+class PeerHealth : public obs::GaugeSource {
  public:
   enum class State : std::uint8_t { kAlive, kSuspect };
   using TransitionCallback = std::function<void(NodeId)>;
@@ -89,6 +90,11 @@ class PeerHealth {
   [[nodiscard]] std::uint64_t total_send_errors() const {
     return total_send_errors_;
   }
+
+  /// Flight-recorder row: current suspect count plus the cumulative
+  /// transition/error counters, so `--report` timelines show *when*
+  /// peers fell suspect, not just the final tallies.
+  void poll_gauges(obs::GaugeVisitor& visitor) const override;
 
  private:
   void check_silence();

@@ -17,11 +17,10 @@ namespace {
 
 using util::json_cell;
 using util::json_double;
-using util::json_escape;
 
 std::string pad(int indent) { return std::string(static_cast<std::size_t>(indent), ' '); }
 
-std::string quoted(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+std::string quoted(const std::string& s) { return util::json_quote(s); }
 
 void write_counter_object(std::ostream& os, const std::string& p,
                           const char* key, std::uint64_t sent,

@@ -33,6 +33,31 @@ class DroppingMultiOverlayNode final : public baselines::MultiOverlayNode {
   void on_packet(const CopyPacket& /*packet*/, NodeId /*from*/) override {}
 };
 
+/// Aggregate gauge row over every node's ImpairedTransport — the same
+/// counters Network::impairment_stats() totals at end of run, polled
+/// per Timeline tick so --report artifacts show when the chaos hit.
+class ImpairmentGauges final : public obs::GaugeSource {
+ public:
+  explicit ImpairmentGauges(const Network& net) : net_(net) {}
+
+  void poll_gauges(obs::GaugeVisitor& visitor) const override {
+    const net::ImpairmentStats stats = net_.impairment_stats();
+    visitor.gauge("impair_forwarded",
+                  static_cast<std::int64_t>(stats.forwarded));
+    visitor.gauge("impair_dropped", static_cast<std::int64_t>(stats.dropped));
+    visitor.gauge("impair_duplicated",
+                  static_cast<std::int64_t>(stats.duplicated));
+    visitor.gauge("impair_reordered",
+                  static_cast<std::int64_t>(stats.reordered));
+    visitor.gauge("impair_delayed", static_cast<std::int64_t>(stats.delayed));
+    visitor.gauge("impair_corrupted",
+                  static_cast<std::int64_t>(stats.corrupted));
+  }
+
+ private:
+  const Network& net_;
+};
+
 std::vector<geo::Vec2> make_placement(const ScenarioConfig& config,
                                       des::Rng& rng) {
   switch (config.placement) {
@@ -53,17 +78,31 @@ std::vector<geo::Vec2> make_placement(const ScenarioConfig& config,
   throw std::invalid_argument("unknown placement kind");
 }
 
+/// One recorder serves the whole fleet on the DES, so the per-message
+/// event cap — a per-*node* budget in MsgTraceConfig — scales by n.
+obs::MsgTraceConfig fleet_msg_trace_config(const ScenarioConfig& config) {
+  obs::MsgTraceConfig trace = config.msg_trace;
+  trace.max_events_per_message *= std::max<std::size_t>(config.n, 1);
+  return trace;
+}
+
 }  // namespace
 
 Network::Network(const ScenarioConfig& config)
     : config_(config),
       sim_(config.seed, config.legacy_kernel
                             ? des::EventQueue::Backend::kHeapOnly
-                            : des::EventQueue::Backend::kHybrid) {
+                            : des::EventQueue::Backend::kHybrid),
+      msg_trace_(fleet_msg_trace_config(config)) {
   const std::size_t n = config.n;
   if (n == 0) throw std::invalid_argument("Network: n must be > 0");
   if (config.byzantine_count() >= n) {
     throw std::invalid_argument("Network: all nodes Byzantine");
+  }
+  if (config.enable_msg_trace) {
+    obs::MsgTraceAnchor anchor;  // whole-fleet DES trace: sim clock
+    anchor.n = static_cast<std::uint32_t>(n);
+    msg_trace_.set_anchor(anchor);
   }
 
   pki_ = std::make_unique<crypto::Pki>(sim_.split_rng());
@@ -186,16 +225,21 @@ Network::Network(const ScenarioConfig& config)
       // scenario configures impairment, every node runs over a seeded
       // ImpairedTransport. The decorators draw one rng split each, so
       // inert configs must skip this block entirely (golden hashes).
-      const bool impaired = config.impairment.any();
+      const bool impaired =
+          config.impairment.any() || config.impairment_matrix.any();
       byzcast_nodes_.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
         auto id = static_cast<NodeId>(i);
         crypto::Signer signer = pki_->register_node(id);
         if (impaired) {
+          // The matrix specializes the fleet-wide base config per
+          // receiver, so "1<-0 drop=1" deafens only node 1's ear for 0.
+          net::ImpairmentConfig effective = config.impairment;
+          config.impairment_matrix.apply_to(id, effective);
           sim_transports_.push_back(
               std::make_unique<net::SimTransport>(*radios_[i]));
           impaired_.push_back(std::make_unique<net::ImpairedTransport>(
-              sim_, *sim_transports_.back(), config.impairment));
+              sim_, *sim_transports_.back(), std::move(effective)));
           byzcast_nodes_[i] = byz::make_adversary(
               kinds_[i], sim_, *impaired_.back(), *pki_, signer,
               config.protocol_config, &metrics_, config.adversary_params);
@@ -206,6 +250,9 @@ Network::Network(const ScenarioConfig& config)
         }
         byzcast_nodes_[i]->set_expected_targets(targets);
         if (config.enable_trace) byzcast_nodes_[i]->set_trace(&trace_);
+        if (config.enable_msg_trace) {
+          byzcast_nodes_[i]->set_msg_trace(&msg_trace_);
+        }
         byzcast_nodes_[i]->start();
       }
       break;
@@ -272,6 +319,14 @@ Network::Network(const ScenarioConfig& config)
         timeline_->add_source("node" + std::to_string(i), *byzcast_nodes_[i]);
       }
       timeline_->add_source("radio" + std::to_string(i), *radios_[i]);
+    }
+    // One aggregate decorator row (satellite of DESIGN.md §15): chaos
+    // counters show up per tick in --report artifacts, not only as
+    // end-of-run totals. Only when decorators exist — an extra column
+    // set would change telemetry snapshots of unimpaired runs.
+    if (!impaired_.empty()) {
+      impair_gauges_ = std::make_unique<ImpairmentGauges>(*this);
+      timeline_->add_source("impair", *impair_gauges_);
     }
     timeline_->start();
   }
@@ -379,12 +434,14 @@ NodeId Network::join_node(geo::Vec2 position) {
   hot_.departed.push_back(false);
   hot_.ranges.push_back(config_.tx_range);
   crypto::Signer signer = pki_->register_node(id);
-  if (config_.impairment.any()) {
+  if (config_.impairment.any() || config_.impairment_matrix.any()) {
     // Joiners face the same message adversary as the seed membership.
+    net::ImpairmentConfig effective = config_.impairment;
+    config_.impairment_matrix.apply_to(id, effective);
     sim_transports_.push_back(
         std::make_unique<net::SimTransport>(*radios_.back()));
     impaired_.push_back(std::make_unique<net::ImpairedTransport>(
-        sim_, *sim_transports_.back(), config_.impairment));
+        sim_, *sim_transports_.back(), std::move(effective)));
     byzcast_nodes_.push_back(byz::make_adversary(
         byz::AdversaryKind::kNone, sim_, *impaired_.back(), *pki_, signer,
         config_.protocol_config, &metrics_, config_.adversary_params));
@@ -397,6 +454,7 @@ NodeId Network::join_node(geo::Vec2 position) {
   // target itself, so delivery ratios stay defined over seed membership.
   byzcast_nodes_.back()->set_expected_targets(correct_.size());
   if (config_.enable_trace) byzcast_nodes_.back()->set_trace(&trace_);
+  if (config_.enable_msg_trace) byzcast_nodes_.back()->set_msg_trace(&msg_trace_);
   byzcast_nodes_.back()->start();
   return id;
 }

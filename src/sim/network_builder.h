@@ -46,6 +46,11 @@ class Network {
   [[nodiscard]] stats::Metrics& metrics() { return metrics_; }
   /// Populated when config.enable_trace is set (empty otherwise).
   [[nodiscard]] trace::TraceRecorder& trace() { return trace_; }
+  /// The fleet-wide message-lifecycle recorder (obs/msg_trace.h),
+  /// populated when config.enable_msg_trace is set (empty otherwise).
+  /// On the DES the whole fleet shares one recorder — sim time is
+  /// already globally aligned, so its anchor is the trivial sim clock.
+  [[nodiscard]] obs::MsgTraceRecorder& msg_trace() { return msg_trace_; }
   /// The flight recorder, armed when config.telemetry_interval > 0
   /// (nullptr otherwise).
   [[nodiscard]] obs::Timeline* timeline() { return timeline_.get(); }
@@ -126,6 +131,7 @@ class Network {
   des::Simulator sim_;
   stats::Metrics metrics_;
   trace::TraceRecorder trace_;
+  obs::MsgTraceRecorder msg_trace_;
   std::unique_ptr<crypto::Pki> pki_;
   std::unique_ptr<radio::Medium> medium_;
   std::vector<std::unique_ptr<mobility::MobilityModel>> mobility_;
@@ -152,6 +158,9 @@ class Network {
   mutable HotState hot_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<obs::Timeline> timeline_;
+  /// Aggregate "impair" gauge row over every decorator; built only when
+  /// both telemetry and impairment are on.
+  std::unique_ptr<obs::GaugeSource> impair_gauges_;
 };
 
 }  // namespace byzcast::sim

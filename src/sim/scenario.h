@@ -15,6 +15,7 @@
 #include "des/time.h"
 #include "geo/vec2.h"
 #include "net/impairment.h"
+#include "obs/msg_trace.h"
 #include "radio/medium.h"
 #include "sim/fault.h"
 
@@ -84,6 +85,11 @@ struct ScenarioConfig {
   /// event-for-event identical to a pre-impairment build (golden hashes).
   net::ImpairmentConfig impairment;
 
+  /// Asymmetric per-(receiver, sender) impairment rules layered on top
+  /// of `impairment` (A hears B but not vice versa). Inert by default;
+  /// like `impairment`, an empty matrix constructs nothing.
+  net::ImpairmentMatrix impairment_matrix;
+
   // --- workload --------------------------------------------------------------------
   std::size_t num_broadcasts = 20;
   des::SimDuration broadcast_interval = des::millis(500);
@@ -92,6 +98,12 @@ struct ScenarioConfig {
   /// Record structured protocol events (trace/trace.h) for every byzcast
   /// node. Off by default: benches aggregate through Metrics instead.
   bool enable_trace = false;
+  /// Record per-message lifecycle events (obs/msg_trace.h) for every
+  /// byzcast node into one fleet-wide recorder. Off by default; purely
+  /// passive when on (no timers, no rng), so trace-on runs stay
+  /// event-identical.
+  bool enable_msg_trace = false;
+  obs::MsgTraceConfig msg_trace;
   /// Sim-time sampling interval for the obs::Timeline flight recorder;
   /// 0 (default) = no Timeline is constructed at all, so — like the empty
   /// fault schedule above — runs without telemetry stay event-for-event

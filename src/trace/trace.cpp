@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/json.h"
+
 namespace byzcast::trace {
 
 const char* event_kind_name(EventKind kind) {
@@ -89,8 +91,9 @@ void TraceRecorder::write_csv(std::ostream& os) const {
 
 void TraceRecorder::write_jsonl(std::ostream& os) const {
   for (const Event& e : events_) {
-    os << "{\"t_us\":" << e.at << ",\"kind\":\"" << event_kind_name(e.kind)
-       << "\",\"node\":" << e.node << ",\"peer\":" << e.peer
+    os << "{\"t_us\":" << e.at
+       << ",\"kind\":" << util::json_quote(event_kind_name(e.kind))
+       << ",\"node\":" << e.node << ",\"peer\":" << e.peer
        << ",\"origin\":" << e.origin << ",\"seq\":" << e.seq << ",\"a\":" << e.a
        << "}\n";
   }

@@ -9,10 +9,44 @@ std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
+}
+
+std::string json_quote(std::string_view s) {
+  return "\"" + json_escape(std::string(s)) + "\"";
 }
 
 std::string json_double(double v) {
@@ -23,7 +57,7 @@ std::string json_double(double v) {
 
 std::string json_cell(const Cell& cell) {
   if (const auto* s = std::get_if<std::string>(&cell)) {
-    return "\"" + json_escape(*s) + "\"";
+    return json_quote(*s);
   }
   if (const auto* i = std::get_if<std::int64_t>(&cell)) {
     char buf[24];

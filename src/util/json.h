@@ -1,21 +1,28 @@
 // Minimal deterministic JSON emission helpers, shared by the sweep
-// engine's write_json and the obs run reports. Not a JSON library — just
-// the two formatting rules every emitter must agree on so equal inputs
-// produce byte-identical artifacts:
+// engine's write_json, the obs run reports, and the trace/stats
+// writers. Not a JSON library — just the formatting rules every
+// emitter must agree on so equal inputs produce byte-identical
+// artifacts:
 //
-//  * strings escape only the characters our identifiers can contain;
+//  * strings escape `"`, `\` and control characters (RFC 8259);
 //  * doubles print with %.17g (shortest round-trip, locale-independent).
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "util/table.h"
 
 namespace byzcast::util {
 
-/// Escapes `"` and `\` (our labels/metric names never contain control
-/// characters; emitting one is a bug upstream, not here).
+/// Escapes `"`, `\` and every control character below 0x20 (the common
+/// ones as \n-style two-byte escapes, the rest as \u00XX) so emitted
+/// strings are always valid RFC 8259 JSON regardless of the input.
 std::string json_escape(const std::string& s);
+
+/// Convenience: `"` + json_escape + `"` — a complete JSON string
+/// literal. Every hand-rolled emitter should quote through this.
+std::string json_quote(std::string_view s);
 
 /// Locale-independent shortest-round-trip double formatting: equal
 /// doubles always print equal bytes (what determinism diffs rely on).

@@ -105,6 +105,11 @@ def launch_fleet(args, tmp, base_port, common, chaos):
             cmd.append("--telemetry-ms=500")
             cmd.append(
                 f"--report={os.path.join(args.report_dir, f'node{node}.report.json')}")
+        if args.trace_dir:
+            cmd.append(
+                f"--trace-msgs={os.path.join(args.trace_dir, f'node{node}.trace.jsonl')}")
+            cmd.append(
+                f"--stats-out={os.path.join(args.trace_dir, f'node{node}.stats.jsonl')}")
         daemons.append(
             Daemon(node, cmd, os.path.join(tmp, f"node{node}.stderr")))
     return daemons
@@ -149,6 +154,20 @@ def run_fleet(args, tmp, base_port, common, chaos):
         victim.killed = True
         print(f"chaos: SIGKILLed node {args.kill_node} at "
               f"t={time.monotonic() - t0:.1f}s", flush=True)
+
+        if args.trace_dir:
+            # The respawn truncates the victim's artifacts; set aside the
+            # per-line-flushed stats prefix so the fleet timeline keeps
+            # the pre-crash samples (and shows the gap). The msg trace is
+            # NOT preserved: a SIGKILLed process loses it by design, and
+            # the respawned daemon re-records its whole history through
+            # range-sync events.
+            stats_path = os.path.join(args.trace_dir,
+                                      f"node{args.kill_node}.stats.jsonl")
+            if os.path.exists(stats_path):
+                os.replace(stats_path,
+                           os.path.join(args.trace_dir,
+                                        f"node{args.kill_node}.stats.pre-kill.jsonl"))
 
         time.sleep(max(0.0, t0 + args.restart_after_s - time.monotonic()))
         remaining = args.duration_s - (time.monotonic() - t0)
@@ -216,6 +235,105 @@ def check_reports(args):
           f"{suspects} suspect / {alives} alive transitions", flush=True)
 
 
+def aggregate_stats(args, observed):
+    """Folds every node's byzcast-stats/v1 stream (including pre-kill
+    prefixes) into one byzcast-fleet-stats/v1 timeline and cross-checks
+    the final per-node delivered counters against the delivery sets."""
+    per_node = {}
+    sources = []
+    for name in sorted(os.listdir(args.trace_dir)):
+        if ".stats." not in name or not name.endswith(".jsonl"):
+            continue
+        path = os.path.join(args.trace_dir, name)
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [json.loads(line) for line in fh if line.strip()]
+        if not lines or lines[0].get("schema") != "byzcast-stats/v1":
+            raise SystemExit(f"{path}: missing byzcast-stats/v1 anchor line")
+        anchor, samples = lines[0], lines[1:]
+        node = int(anchor["node"])
+        sources.append(name)
+        per_node.setdefault(node, []).extend(samples)
+
+    timeline = []
+    for node, samples in per_node.items():
+        samples.sort(key=lambda s: s["unix_us"])
+        timeline.extend(dict(s, node=node) for s in samples)
+    timeline.sort(key=lambda s: s["unix_us"])
+
+    for node in range(args.n):
+        if not per_node.get(node):
+            raise SystemExit(f"fleet stats: node {node} produced no samples")
+        final = per_node[node][-1]
+        want = len(observed.get(node, []))
+        if final["delivered"] != want:
+            raise SystemExit(
+                f"fleet stats: node {node} final delivered counter "
+                f"{final['delivered']} != {want} deliveries in its artifact")
+
+    doc = {
+        "schema": "byzcast-fleet-stats/v1",
+        "n": args.n,
+        "sources": sources,
+        "samples_per_node": {str(n): len(s) for n, s in per_node.items()},
+        "final_delivered": {str(n): per_node[n][-1]["delivered"]
+                            for n in sorted(per_node)},
+        "timeline": timeline,
+    }
+    out = os.path.join(args.trace_dir, "fleet_stats.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    print(f"fleet stats: {len(timeline)} samples from {len(sources)} "
+          f"stream(s) -> {out}", flush=True)
+
+
+def check_traces(args):
+    """Merges the per-daemon message traces through byztrace and asserts
+    every message's propagation DAG is complete across the whole fleet —
+    including the range-sync catch-up path of a killed+respawned node."""
+    trace_files = sorted(
+        os.path.join(args.trace_dir, name)
+        for name in os.listdir(args.trace_dir)
+        if name.endswith(".trace.jsonl"))
+    if len(trace_files) != args.n:
+        raise SystemExit(f"expected {args.n} trace files, found "
+                         f"{len(trace_files)}: {trace_files}")
+    merged_path = os.path.join(args.trace_dir, "merged_trace.json")
+    chrome_path = os.path.join(args.trace_dir, "chrome_trace.json")
+    subprocess.run(
+        [args.byztrace, f"--json={merged_path}", f"--chrome={chrome_path}",
+         f"--expect-n={args.n}", *trace_files],
+        check=True)
+
+    with open(merged_path, "r", encoding="utf-8") as fh:
+        merged = json.load(fh)
+    if merged.get("schema") != "byzcast-msg-trace-merged/v1":
+        raise SystemExit(f"{merged_path}: unexpected schema "
+                         f"{merged.get('schema')!r}")
+    summary = merged["summary"]
+    if summary["complete"] != summary["messages"]:
+        raise SystemExit(f"merged trace: only {summary['complete']} of "
+                         f"{summary['messages']} DAGs are complete")
+
+    if args.kill_node >= 0 and args.range_sync:
+        sync_edges = [e for msg in merged["messages"] for e in msg["edges"]
+                      if e["sync"]]
+        if not sync_edges:
+            raise SystemExit("merged trace: killed node recovered but no "
+                             "range-sync catch-up edge was traced")
+        wrong = [e for e in sync_edges if e["to"] != args.kill_node]
+        if wrong:
+            raise SystemExit(f"merged trace: sync edges into nodes that "
+                             f"never crashed: {wrong}")
+    with open(chrome_path, "r", encoding="utf-8") as fh:
+        chrome = json.load(fh)
+    if not chrome.get("traceEvents"):
+        raise SystemExit(f"{chrome_path}: empty traceEvents")
+    print(f"trace check: {summary['messages']} message DAG(s) complete, "
+          f"{summary['hops']} hops ({summary['sync_hops']} via range-sync), "
+          f"mean hop latency "
+          f"{summary['hop_latency_us']['mean'] / 1000.0:.1f} ms", flush=True)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--byzcastd", required=True,
@@ -231,6 +349,13 @@ def main():
                         help="0 = derive from pid")
     parser.add_argument("--report-dir", default="",
                         help="also write per-node run reports here")
+    parser.add_argument("--trace-dir", default="",
+                        help="collect per-node message traces and stats "
+                             "streams here; with --byztrace the merged "
+                             "propagation DAGs are validated too")
+    parser.add_argument("--byztrace", default="",
+                        help="path to the byztrace binary (requires "
+                             "--trace-dir)")
     parser.add_argument("--startup-timeout-s", type=float, default=2.0,
                         help="window in which an exiting daemon is treated "
                              "as a startup failure (port retry)")
@@ -282,8 +407,16 @@ def main():
         chaos_flags.append(f"--impair-delay-ms={args.delay_ms}")
     chaos_flags.append(f"--health-silence-s={args.health_silence_s}")
 
+    if args.byztrace and not args.trace_dir:
+        raise SystemExit("--byztrace requires --trace-dir")
     if args.report_dir:
         os.makedirs(args.report_dir, exist_ok=True)
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        # Stale artifacts from a previous run would corrupt the merge.
+        for name in os.listdir(args.trace_dir):
+            if name.endswith((".jsonl", ".json")):
+                os.remove(os.path.join(args.trace_dir, name))
 
     with tempfile.TemporaryDirectory(prefix="byzcast-live-") as tmp:
         # 1. DES prediction (virtual time: completes immediately). Ideal
@@ -338,6 +471,10 @@ def main():
         return 1
     if args.report_dir:
         check_reports(args)
+    if args.trace_dir:
+        aggregate_stats(args, observed)
+        if args.byztrace:
+            check_traces(args)
     total = sum(len(v) for v in observed.values())
     chaos_note = ""
     if (args.loss or args.dup or args.reorder or args.corrupt

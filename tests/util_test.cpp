@@ -323,10 +323,26 @@ TEST(Json, EscapeQuotesAndBackslashes) {
   EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
 }
 
+TEST(Json, EscapeControlCharacters) {
+  // RFC 8259 §7: every control char below 0x20 must be escaped — the
+  // common ones as two-char sequences, the rest as \u00XX.
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("\t\r\b\f"), "\\t\\r\\b\\f");
+  EXPECT_EQ(json_escape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(json_escape("high\x7f"), "high\x7f") << "DEL needs no escape";
+}
+
+TEST(Json, QuoteWrapsAndEscapes) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("say \"hi\"\n"), "\"say \\\"hi\\\"\\n\"");
+  EXPECT_EQ(json_quote(""), "\"\"");
+}
+
 TEST(Json, CellFormatsByAlternative) {
   EXPECT_EQ(json_cell(Cell{std::string("f+1")}), "\"f+1\"");
   EXPECT_EQ(json_cell(Cell{std::int64_t{42}}), "42");
   EXPECT_EQ(json_cell(Cell{0.5}), "0.5");
+  EXPECT_EQ(json_cell(Cell{std::string("a\"b")}), "\"a\\\"b\"");
 }
 
 }  // namespace
